@@ -1,0 +1,54 @@
+"""Ablation: sparse vs dense BILP formulation (Section 3.1.1 / eq. 10).
+
+The paper's eq. 10 assigns -1 to valueless (location, sensor) pairs purely
+to forbid them; our default formulation prunes those variables instead.
+This bench shows both return the same optimum while the sparse model is an
+order of magnitude smaller/faster at realistic densities.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import OptimalPointAllocator
+from repro.queries import PointQueryWorkload
+from repro.sensors import SensorSnapshot
+from repro.spatial import Region
+
+
+def build_slot(n_sensors=80, n_queries=120):
+    rng = np.random.default_rng(2013)
+    region = Region.from_origin(50, 50)
+    sensors = [
+        SensorSnapshot(i, region.sample_location(rng), 10.0, float(rng.uniform(0, 0.2)), 1.0)
+        for i in range(n_sensors)
+    ]
+    queries = PointQueryWorkload(region, n_queries=n_queries, budget=15.0, dmax=5.0).generate(
+        0, rng
+    )
+    return queries, sensors
+
+
+def sweep():
+    queries, sensors = build_slot()
+    rows = []
+    for name, allocator in [
+        ("sparse", OptimalPointAllocator(sparse=True)),
+        ("dense", OptimalPointAllocator(sparse=False)),
+    ]:
+        start = time.perf_counter()
+        result = allocator.allocate(queries, sensors)
+        rows.append((name, result.total_utility, time.perf_counter() - start))
+    return rows
+
+
+def test_bilp_formulation_ablation(benchmark):
+    rows = run_once(benchmark, sweep)
+    print("\nformulation   utility     time")
+    for name, utility, elapsed in rows:
+        print(f"{name:11s}  {utility:8.1f}  {elapsed * 1e3:7.1f}ms")
+    # Equivalence: identical optimum from both formulations.
+    assert rows[0][1] == rows[1][1] or abs(rows[0][1] - rows[1][1]) < 1e-6

@@ -1,0 +1,58 @@
+"""Micro-benchmarks: per-slot allocation cost of each scheduling algorithm.
+
+These are classic pytest-benchmark timings (many rounds) on one frozen
+paper-scale slot: 200 sensors, 300 point queries.  They track the
+complexity claims of Section 3 — the BILP stays tractable thanks to the
+sparse formulation, local search and greedy are a few tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BaselineAllocator,
+    GreedyAllocator,
+    LocalSearchPointAllocator,
+    OptimalPointAllocator,
+)
+from repro.queries import PointQueryWorkload
+from repro.sensors import SensorSnapshot
+from repro.spatial import Region
+
+
+@pytest.fixture(scope="module")
+def slot():
+    rng = np.random.default_rng(2013)
+    region = Region.from_origin(50, 50)
+    sensors = [
+        SensorSnapshot(
+            i,
+            region.sample_location(rng),
+            10.0,
+            float(rng.uniform(0, 0.2)),
+            1.0,
+        )
+        for i in range(200)
+    ]
+    queries = PointQueryWorkload(region, n_queries=300, budget=15.0, dmax=5.0).generate(
+        0, rng
+    )
+    return queries, sensors
+
+
+@pytest.mark.parametrize(
+    "allocator",
+    [
+        OptimalPointAllocator(),
+        LocalSearchPointAllocator(),
+        GreedyAllocator(),
+        BaselineAllocator(),
+    ],
+    ids=["optimal", "local_search", "greedy", "baseline"],
+)
+def test_allocator_slot_cost(benchmark, slot, allocator):
+    queries, sensors = slot
+    result = benchmark(allocator.allocate, queries, sensors)
+    assert result.total_utility >= 0.0

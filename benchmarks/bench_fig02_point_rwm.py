@@ -1,0 +1,31 @@
+"""Figure 2: single-sensor point queries on RWM.
+
+Regenerates avg utility per slot and satisfaction ratio vs query budget for
+Optimal / LocalSearch / Baseline, and asserts the paper's qualitative
+shapes: the sharing algorithms dominate the baseline, the baseline answers
+nothing at the smallest budgets, and everyone converges as budgets grow.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import fig2, format_figure
+
+
+def test_fig2_point_queries_rwm(benchmark, scale):
+    result = run_once(benchmark, fig2, scale)
+    print()
+    print(format_figure(result))
+
+    assert result.dominates("Optimal", "Baseline", "avg_utility", slack=1e-9)
+    assert result.dominates("LocalSearch", "Baseline", "avg_utility", slack=1e-9)
+    assert result.dominates("Optimal", "LocalSearch", "avg_utility", slack=1e-6)
+    # Baseline collapses at the smallest budget; Optimal keeps answering.
+    assert result.metric("Baseline", "satisfaction_ratio")[0] == 0.0
+    assert result.metric("Optimal", "satisfaction_ratio")[0] > 0.0
+    # Utility grows with budget.
+    optimal = result.metric("Optimal", "avg_utility")
+    assert optimal[-1] > optimal[0]
+    # Convergence: the relative gap at the largest budget is small.
+    gap = optimal[-1] - result.metric("Baseline", "avg_utility")[-1]
+    assert gap <= 0.25 * optimal[-1]

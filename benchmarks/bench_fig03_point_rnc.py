@@ -1,0 +1,23 @@
+"""Figure 3: single-sensor point queries on the RNC substitute."""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import fig3, format_figure
+
+
+def test_fig3_point_queries_rnc(benchmark, scale):
+    result = run_once(benchmark, fig3, scale)
+    print()
+    print(format_figure(result))
+
+    assert result.dominates("Optimal", "Baseline", "avg_utility", slack=1e-9)
+    assert result.dominates("Optimal", "LocalSearch", "avg_utility", slack=1e-6)
+    assert result.metric("Baseline", "avg_utility")[0] == 0.0
+    # LocalSearch tracks Optimal closely (the paper's headline observation).
+    for opt, ls in zip(
+        result.metric("Optimal", "avg_utility"),
+        result.metric("LocalSearch", "avg_utility"),
+    ):
+        if opt > 0:
+            assert ls >= 0.9 * opt

@@ -1,0 +1,25 @@
+"""Figure 5: utility and satisfaction vs the number of point queries.
+
+The paper's finding: more queries mean more sharing opportunities — utility
+grows with query count and satisfaction creeps up, while the baseline
+scales far less favourably.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import fig5, format_figure
+
+
+def test_fig5_query_count_sweep(benchmark, scale):
+    result = run_once(benchmark, fig5, scale)
+    print()
+    print(format_figure(result))
+
+    optimal = result.metric("Optimal", "avg_utility")
+    baseline = result.metric("Baseline", "avg_utility")
+    assert optimal == sorted(optimal)  # monotone in query count
+    assert result.dominates("Optimal", "Baseline", "avg_utility", slack=1e-9)
+    # Sharing advantage: Optimal's absolute lead grows with the load.
+    leads = [o - b for o, b in zip(optimal, baseline)]
+    assert leads[-1] >= leads[0]

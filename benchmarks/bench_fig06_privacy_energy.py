@@ -1,0 +1,34 @@
+"""Figure 6: random privacy sensitivity + linear energy cost, lifetime 50/25.
+
+The paper's findings: utility and satisfaction drop relative to the
+zero-privacy fixed-cost setting (Figure 3), and halving the lifetime
+changes little because mobility churn keeps individual sensors from being
+exhausted.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import fig3, fig6, format_figure
+
+
+def test_fig6_privacy_and_energy_costs(benchmark, scale):
+    result = run_once(benchmark, fig6, scale)
+    print()
+    print(format_figure(result))
+
+    reference = fig3(scale)
+    for i in range(len(result.x_values)):
+        # Privacy + energy costs can only depress utility vs Figure 3.
+        assert (
+            result.metric("Optimal", "avg_utility_l50")[i]
+            <= reference.metric("Optimal", "avg_utility")[i] + 1e-6
+        )
+    # Lifetime 25 vs 50: "the difference ... is very small".
+    l50 = result.metric("Optimal", "avg_utility_l50")
+    l25 = result.metric("Optimal", "avg_utility_l25")
+    for a, b in zip(l50, l25):
+        if a > 0:
+            assert abs(a - b) <= 0.35 * a
+    assert result.dominates("Optimal", "Baseline", "avg_utility_l50", slack=1e-9)
+    assert result.dominates("Optimal", "Baseline", "avg_utility_l25", slack=1e-9)

@@ -1,0 +1,28 @@
+"""Figure 10: the query mix — Algorithm 5 vs the sequential baseline.
+
+The paper's findings: Algorithm 5 "significantly outperforms the baseline";
+the baseline's per-type quality is zero or tiny at small budget factors
+while Algorithm 5 keeps satisfying queries through sensor sharing.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import fig10, format_figure
+
+
+def test_fig10_query_mix(benchmark, scale):
+    result = run_once(benchmark, fig10, scale)
+    print()
+    print(format_figure(result))
+
+    assert result.dominates("Alg5", "Baseline", "avg_utility", slack=1e-9)
+    # The headline gap is largest at the smallest budget factor.
+    alg5 = result.metric("Alg5", "avg_utility")
+    baseline = result.metric("Baseline", "avg_utility")
+    assert alg5[0] >= 2.0 * max(baseline[0], 1e-9) or baseline[0] <= 1.0
+    # Monitoring quality: the opportunistic controller beats rigid
+    # desired-times-only sampling at every budget factor.
+    assert result.dominates(
+        "Alg5", "Baseline", "quality_location_monitoring", slack=1e-9
+    )

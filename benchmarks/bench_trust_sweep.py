@@ -1,0 +1,21 @@
+"""Section 4.7 (text): trust-distribution sensitivity.
+
+"The more trustworthy the sensors are, the more utility they bring to the
+queries" — utility is monotone in the trust distribution.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import format_figure, trust_sweep
+
+
+def test_trust_sweep(benchmark, scale):
+    result = run_once(benchmark, trust_sweep, scale)
+    print()
+    print(format_figure(result))
+
+    full = result.metric("FullTrust", "avg_utility")[0]
+    mid = result.metric("Uniform[0.5,1]", "avg_utility")[0]
+    low = result.metric("Uniform[0,1]", "avg_utility")[0]
+    assert full >= mid >= low

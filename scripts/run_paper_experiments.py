@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Run every figure reproduction at paper scale and record the series.
+
+Writes one JSON file per figure plus a human-readable report, updating
+incrementally so a long run can be inspected (or interrupted) midway.
+
+Usage::
+
+    python scripts/run_paper_experiments.py [--scale paper|ci] [--out DIR]
+                                            [--figures fig2,fig3,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import ALL_FIGURES, format_figure, get_scale
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="paper", choices=["paper", "ci"])
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--figures",
+        default=",".join(ALL_FIGURES),
+        help="comma-separated figure ids (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    scale = get_scale(args.scale)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report_path = out_dir / f"report_{scale.name}.txt"
+    wanted = [f.strip() for f in args.figures.split(",") if f.strip()]
+
+    with report_path.open("w") as report:
+        report.write(f"# scale={scale.name} seed={args.seed}\n\n")
+    for name in wanted:
+        if name not in ALL_FIGURES:
+            raise SystemExit(f"unknown figure {name!r}; choose from {sorted(ALL_FIGURES)}")
+        start = time.perf_counter()
+        print(f"[{time.strftime('%H:%M:%S')}] running {name} ...", flush=True)
+        result = ALL_FIGURES[name](scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        payload = dataclasses.asdict(result)
+        (out_dir / f"{name}_{scale.name}.json").write_text(json.dumps(payload, indent=2))
+        text = format_figure(result)
+        with report_path.open("a") as report:
+            report.write(text + "\n\n")
+        print(text, flush=True)
+        print(f"[{time.strftime('%H:%M:%S')}] {name} done in {elapsed:.1f}s\n", flush=True)
+
+
+if __name__ == "__main__":
+    main()

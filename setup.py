@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+660 editable installs (``pip install -e .``) cannot build an editable
+wheel.  ``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+on machines that do have ``wheel``) installs the package equivalently.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,137 @@
+"""Command-line interface: reproduce figures and run demos from a shell.
+
+Usage::
+
+    python -m repro figures --figure fig2 --scale ci
+    python -m repro figures --all --scale paper --out results/
+    python -m repro demo
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+from . import __version__
+from .experiments import ALL_FIGURES, format_figure, get_scale, validate_figure
+from .experiments.reporting import ascii_chart
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Utility-driven Data Acquisition in "
+            "Participatory Sensing' (EDBT 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="reproduce evaluation figures")
+    figures.add_argument("--figure", action="append", default=None,
+                         help="figure id (repeatable); e.g. fig2")
+    figures.add_argument("--all", action="store_true", help="run every figure")
+    figures.add_argument("--scale", default=None, choices=["paper", "ci"],
+                         help="experiment scale (default: REPRO_SCALE or ci)")
+    figures.add_argument("--seed", type=int, default=2013)
+    figures.add_argument("--out", default=None,
+                         help="directory for JSON series dumps")
+    figures.add_argument("--chart", action="store_true",
+                         help="render ASCII charts in addition to tables")
+    figures.add_argument("--validate", action="store_true",
+                         help="run the DESIGN.md shape checklist on each figure")
+
+    sub.add_parser("demo", help="run the quickstart comparison")
+    sub.add_parser("info", help="print version and available figures")
+    return parser
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    wanted = list(ALL_FIGURES) if args.all else (args.figure or ["fig2"])
+    unknown = [f for f in wanted if f not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_FIGURES)}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for name in wanted:
+        result = ALL_FIGURES[name](scale, seed=args.seed)
+        print(format_figure(result))
+        if args.validate:
+            for check in validate_figure(result):
+                print(check.format())
+                failures += 0 if check.passed else 1
+        if args.chart:
+            metrics = {m for per_alg in result.series.values() for m in per_alg}
+            for metric in sorted(metrics):
+                print()
+                print(ascii_chart(result, metric))
+        print()
+        if out_dir:
+            payload = dataclasses.asdict(result)
+            (out_dir / f"{name}_{scale.name}.json").write_text(
+                json.dumps(payload, indent=2)
+            )
+    if failures:
+        print(f"{failures} shape check(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_demo() -> int:
+    import numpy as np
+
+    from .core import BaselineAllocator, OneShotSimulation, OptimalPointAllocator
+    from .datasets import build_rwm_scenario
+    from .queries import PointQueryWorkload
+
+    scenario = build_rwm_scenario(seed=1, n_sensors=100, n_slots=5)
+    print("Point queries on RWM, budget 15, 5 slots:")
+    for name, allocator in [
+        ("Optimal", OptimalPointAllocator()),
+        ("Baseline", BaselineAllocator()),
+    ]:
+        workload = PointQueryWorkload(
+            scenario.working_region, n_queries=100, budget=15.0, dmax=scenario.dmax
+        )
+        sim = OneShotSimulation(
+            scenario.make_fleet(), workload, allocator, np.random.default_rng(2)
+        )
+        summary = sim.run(5)
+        print(
+            f"  {name:<9} utility/slot={summary.average_utility:8.1f}  "
+            f"satisfaction={summary.satisfaction_ratio:.1%}"
+        )
+    return 0
+
+
+def _run_info() -> int:
+    print(f"repro {__version__}")
+    print("figures:", ", ".join(ALL_FIGURES))
+    print("scales : paper (Section 4 sizes), ci (fast shrink)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _run_figures(args)
+    if args.command == "demo":
+        return _run_demo()
+    if args.command == "info":
+        return _run_info()
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

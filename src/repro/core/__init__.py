@@ -1,0 +1,67 @@
+"""The paper's core contribution: allocation algorithms, controllers, engine."""
+
+from .aggregator import Aggregator, QueryReceipt, SlotDigest, UserAccount
+from .allocation import AllocationResult, Allocator, check_distinct
+from .clairvoyant import ClairvoyantPlan, simulate_myopic_gap, solve_clairvoyant
+from .baselines import BaselineAllocator
+from .errors import AllocationError, PaymentInvariantError, ReproError, SolverError
+from .greedy import GreedyAllocator
+from .local_search import LocalSearchPointAllocator, RandomizedLocalSearchAllocator
+from .metrics import SimulationSummary, SlotRecord
+from .mix import BaselineMixAllocator, MixAllocator, MixOutcome
+from .monitoring import (
+    LocationMonitoringController,
+    RegionMonitoringController,
+    RegionSlotOutcome,
+)
+from .optimal import OptimalPointAllocator, exhaustive_point_search
+from .payments import proportionate_shares, redistribute_contribution
+from .point_problem import PointProblem
+from .sampling import SamplingPlan, paper_weight_function, plan_sampling
+from .simulation import (
+    LocationMonitoringSimulation,
+    MixSimulation,
+    OneShotSimulation,
+    RegionMonitoringSimulation,
+)
+
+__all__ = [
+    "Aggregator",
+    "QueryReceipt",
+    "SlotDigest",
+    "UserAccount",
+    "ClairvoyantPlan",
+    "solve_clairvoyant",
+    "simulate_myopic_gap",
+    "AllocationResult",
+    "Allocator",
+    "check_distinct",
+    "ReproError",
+    "AllocationError",
+    "PaymentInvariantError",
+    "SolverError",
+    "OptimalPointAllocator",
+    "exhaustive_point_search",
+    "LocalSearchPointAllocator",
+    "RandomizedLocalSearchAllocator",
+    "GreedyAllocator",
+    "BaselineAllocator",
+    "PointProblem",
+    "proportionate_shares",
+    "redistribute_contribution",
+    "LocationMonitoringController",
+    "RegionMonitoringController",
+    "RegionSlotOutcome",
+    "SamplingPlan",
+    "plan_sampling",
+    "paper_weight_function",
+    "MixAllocator",
+    "BaselineMixAllocator",
+    "MixOutcome",
+    "SimulationSummary",
+    "SlotRecord",
+    "OneShotSimulation",
+    "LocationMonitoringSimulation",
+    "RegionMonitoringSimulation",
+    "MixSimulation",
+]

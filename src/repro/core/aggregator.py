@@ -1,0 +1,309 @@
+"""The aggregator service: the paper's central entity as a library API.
+
+"The sensing devices communicate with a server, which is called the
+*aggregator* ... End users (or applications) submit queries to the
+aggregator.  The aggregator periodically collects the queries and tries to
+optimally answer them" (Section 2).
+
+:class:`Aggregator` is that server: applications :meth:`submit` queries of
+any supported type at any time; each :meth:`run_slot` call collects the
+current announcements, executes Algorithm 5 over everything live, settles
+payments into per-user and per-sensor accounts, and advances the world.
+The simulation engines of :mod:`repro.core.simulation` remain the slim
+harness used by the benchmark reproductions; the aggregator is the API a
+downstream application would actually embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..queries import (
+    EventDetectionQuery,
+    LocationMonitoringQuery,
+    PointQuery,
+    Query,
+    RegionMonitoringQuery,
+)
+from ..sensors import SensorFleet
+from .errors import AllocationError
+from .mix import BaselineMixAllocator, MixAllocator, MixOutcome
+
+__all__ = ["Aggregator", "QueryReceipt", "SlotDigest", "UserAccount"]
+
+
+@dataclass
+class QueryReceipt:
+    """What a submitting application can poll about its query."""
+
+    query_id: str
+    user_id: str
+    query_type: str
+    submitted_at: int
+    answered: bool = False
+    value: float = 0.0
+    paid: float = 0.0
+    completed_at: int | None = None
+
+    @property
+    def utility(self) -> float:
+        return self.value - self.paid
+
+
+@dataclass
+class UserAccount:
+    """Running account of one application/user at the aggregator."""
+
+    user_id: str
+    budget: float = float("inf")
+    spent: float = 0.0
+    value_received: float = 0.0
+    queries: list[str] = field(default_factory=list)
+
+    @property
+    def remaining_budget(self) -> float:
+        return self.budget - self.spent
+
+    @property
+    def utility(self) -> float:
+        return self.value_received - self.spent
+
+
+@dataclass
+class SlotDigest:
+    """Per-slot outcome summary returned by :meth:`Aggregator.run_slot`."""
+
+    slot: int
+    utility: float
+    total_value: float
+    total_cost: float
+    answered: int
+    sensors_used: int
+    events_fired: int = 0
+
+
+class Aggregator:
+    """Long-running data-acquisition service over a sensor fleet.
+
+    Args:
+        fleet: the sensor population (announcements + settlement side).
+        mix: the per-slot scheduling policy; Algorithm 5 by default, the
+            sequential baseline if you want to feel the difference.
+
+    Lifecycle: ``submit()`` any number of queries (at any slot), then call
+    ``run_slot()`` once per time slot.  One-shot queries live for exactly
+    the next slot; continuous queries stay until they expire.
+    """
+
+    def __init__(
+        self,
+        fleet: SensorFleet,
+        mix: MixAllocator | BaselineMixAllocator | None = None,
+        ground_truth=None,
+    ) -> None:
+        self.fleet = fleet
+        self.mix = mix if mix is not None else MixAllocator()
+        #: optional callable Location -> float giving the phenomenon value;
+        #: event-detection queries can only *fire* when it is provided.
+        self.ground_truth = ground_truth
+        self._owner: dict[str, str] = {}
+        self._pending_points: list[PointQuery] = []
+        self._pending_one_shot: list[Query] = []
+        self._live_lm: list[LocationMonitoringQuery] = []
+        self._live_rm: list[RegionMonitoringQuery] = []
+        self._live_events: list[EventDetectionQuery] = []
+        self.receipts: dict[str, QueryReceipt] = {}
+        self.accounts: dict[str, UserAccount] = {}
+        self.digests: list[SlotDigest] = []
+
+    # ------------------------------------------------------------------
+    # submission API
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        return self.fleet.clock
+
+    def open_account(self, user_id: str, budget: float = float("inf")) -> UserAccount:
+        """Register a user with an optional hard spending budget."""
+        if user_id in self.accounts:
+            raise AllocationError(f"user {user_id!r} already has an account")
+        account = UserAccount(user_id=user_id, budget=budget)
+        self.accounts[user_id] = account
+        return account
+
+    def submit(self, query, user_id: str = "anonymous") -> QueryReceipt:
+        """Register a query for execution starting next ``run_slot``.
+
+        Accepts every query type of Figure 1: point / multi-sensor point /
+        aggregate / trajectory (one-shot), and location monitoring, region
+        monitoring, event detection (continuous).
+        """
+        if isinstance(query, LocationMonitoringQuery):
+            bucket, kind = self._live_lm, "location_monitoring"
+        elif isinstance(query, RegionMonitoringQuery):
+            bucket, kind = self._live_rm, "region_monitoring"
+        elif isinstance(query, EventDetectionQuery):
+            bucket, kind = self._live_events, "event"
+        elif isinstance(query, PointQuery):
+            bucket, kind = self._pending_points, "point"
+        elif isinstance(query, Query):
+            bucket, kind = self._pending_one_shot, query.query_type.value
+        else:
+            raise AllocationError(f"unsupported query object: {type(query).__name__}")
+
+        account = self.accounts.get(user_id)
+        if account is None:
+            account = self.open_account(user_id)
+        if query.query_id in self.receipts:
+            raise AllocationError(f"query {query.query_id} was already submitted")
+        bucket.append(query)
+
+        receipt = QueryReceipt(
+            query_id=query.query_id,
+            user_id=user_id,
+            query_type=kind,
+            submitted_at=self.clock,
+        )
+        self.receipts[query.query_id] = receipt
+        account.queries.append(query.query_id)
+        self._owner[query.query_id] = user_id
+        return receipt
+
+    # ------------------------------------------------------------------
+    # the slot protocol
+    # ------------------------------------------------------------------
+    def run_slot(self) -> SlotDigest:
+        """Execute one time slot end to end and settle all payments."""
+        t = self.clock
+        self._expire_continuous(t)
+        sensors = self.fleet.announcements()
+
+        points = self._drain_affordable(self._pending_points)
+        one_shot = self._drain_affordable(self._pending_one_shot)
+        event_children = [
+            q.create_slot_query(t) for q in self._live_events if q.active(t)
+        ]
+        event_parents = {c.query_id: p for c, p in zip(
+            event_children, [q for q in self._live_events if q.active(t)]
+        )}
+
+        outcome: MixOutcome = self.mix.allocate_slot(
+            t,
+            points,
+            list(one_shot) + list(event_children),
+            self._live_lm,
+            self._live_rm,
+            sensors,
+        )
+        result = outcome.result
+
+        events_fired = self._settle_events(t, outcome, event_parents)
+        self._settle_one_shot(t, points + one_shot, outcome)
+        self._settle_continuous(outcome)
+
+        self.fleet.record_measurements(list(result.selected))
+        self.fleet.advance()
+
+        digest = SlotDigest(
+            slot=t,
+            utility=outcome.total_utility,
+            total_value=outcome.total_utility + result.total_cost,
+            total_cost=result.total_cost,
+            answered=result.answered_count(),
+            sensors_used=len(result.selected),
+            events_fired=events_fired,
+        )
+        self.digests.append(digest)
+        return digest
+
+    def run(self, n_slots: int) -> list[SlotDigest]:
+        """Run several slots; returns their digests."""
+        return [self.run_slot() for _ in range(n_slots)]
+
+    # ------------------------------------------------------------------
+    # settlement internals
+    # ------------------------------------------------------------------
+    def _drain_affordable(self, pending: list) -> list:
+        """Pop pending one-shot queries whose owner still has budget."""
+        admitted, skipped = [], []
+        for query in pending:
+            account = self.accounts[self._owner[query.query_id]]
+            if account.remaining_budget > 0:
+                admitted.append(query)
+            else:
+                skipped.append(query)
+        pending.clear()
+        pending.extend(skipped)  # re-queue until budget frees up
+        return admitted
+
+    def _charge(self, query_id: str, value: float, paid: float, t: int) -> None:
+        receipt = self.receipts[query_id]
+        receipt.answered = receipt.answered or value > 0
+        receipt.value += value
+        receipt.paid += paid
+        account = self.accounts[receipt.user_id]
+        account.spent += paid
+        account.value_received += value
+
+    def _settle_one_shot(self, t: int, queries: Sequence[Query], outcome: MixOutcome) -> None:
+        result = outcome.result
+        for query in queries:
+            value = result.values.get(query.query_id, 0.0)
+            paid = result.query_payment(query.query_id)
+            self._charge(query.query_id, value, paid, t)
+            self.receipts[query.query_id].completed_at = t
+
+    def _settle_continuous(self, outcome: MixOutcome) -> None:
+        result = outcome.result
+        # Location monitoring: charge the realized deltas through children.
+        for child in outcome.lm_children:
+            paid = result.query_payment(child.query_id)
+            value = result.values.get(child.query_id, 0.0)
+            self._charge(child.parent_id, value, paid, self.clock)
+        for rm_outcome in outcome.rm_outcomes:
+            self._charge(
+                rm_outcome.query_id,
+                rm_outcome.achieved_value,
+                rm_outcome.paid,
+                self.clock,
+            )
+
+    def _settle_events(self, t: int, outcome: MixOutcome, parents: dict) -> int:
+        result = outcome.result
+        fired = 0
+        for child_id, parent in parents.items():
+            paid = result.query_payment(child_id)
+            value = result.values.get(child_id, 0.0)
+            sensor_ids = result.assignments.get(child_id, ())
+            readings = []
+            if self.ground_truth is not None:
+                for sid in sensor_ids:
+                    snapshot = result.selected[sid]
+                    truth = self.ground_truth(snapshot.location)
+                    # Witness reliability = the derived query's eq.-4 quality.
+                    quality = max(
+                        0.0, min(1.0, (1.0 - snapshot.inaccuracy) * snapshot.trust)
+                    )
+                    readings.append((truth, quality))
+            if parent.apply_readings(t, readings, paid):
+                fired += 1
+            self._charge(parent.query_id, value, paid, t)
+        return fired
+
+    def _expire_continuous(self, t: int) -> None:
+        for bucket in (self._live_lm, self._live_rm, self._live_events):
+            expired = [q for q in bucket if q.expired(t)]
+            for query in expired:
+                receipt = self.receipts[query.query_id]
+                receipt.completed_at = t - 1
+            bucket[:] = [q for q in bucket if not q.expired(t)]
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def total_utility(self) -> float:
+        return float(sum(d.utility for d in self.digests))
+
+    def live_query_count(self) -> int:
+        return len(self._live_lm) + len(self._live_rm) + len(self._live_events)

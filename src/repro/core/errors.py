@@ -1,0 +1,27 @@
+"""Exception hierarchy for the data-acquisition core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AllocationError",
+    "PaymentInvariantError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class AllocationError(ReproError):
+    """An allocator received inconsistent inputs (duplicate ids, …)."""
+
+
+class PaymentInvariantError(ReproError):
+    """A settlement violated a Theorem-1 invariant (cost recovery,
+    non-negative individual utility, …)."""
+
+
+class SolverError(ReproError):
+    """The underlying ILP solver failed or returned a non-optimal status."""

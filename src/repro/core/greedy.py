@@ -1,0 +1,117 @@
+"""Greedy multi-query sensor selection — Algorithm 1 (Section 3.2).
+
+At every step the algorithm picks the sensor maximizing the *partial
+overall utility*: the sum over queries of its positive marginal valuations,
+minus its cost.  The selected sensor's cost is split among the benefiting
+queries in proportion to their marginal gains (line 10), which yields
+Theorem 1's guarantees:
+
+1. telescoping — each query's recorded value equals ``v_q(S_q)``;
+2. positive total utility whenever anything was selected;
+3. non-negative individual query utility;
+4. ``O(|Q| |S|^2)`` valuation calls.
+
+The implementation adds one exact optimization: a sensor's cached marginal
+sum only changes when one of *its* relevant queries received a new sensor,
+so after committing sensor ``a`` we re-evaluate only the sensors whose
+relevant-query sets intersect ``Q_a`` (this is the paper's ``Q_{l_s}``
+pre-filtering taken to its logical end; it changes nothing about which
+sensor wins each round).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..queries import Query, ValuationState
+from ..sensors import SensorSnapshot
+from .allocation import AllocationResult, check_distinct
+from .payments import proportionate_shares
+
+__all__ = ["GreedyAllocator"]
+
+
+class GreedyAllocator:
+    """Algorithm 1: greedy joint sensor selection for arbitrary query mixes.
+
+    Args:
+        min_gain: numerical floor below which a marginal gain is treated as
+            zero (guards against float noise keeping the loop alive).
+        verify: run the Theorem-1 invariant checks on the result (cheap;
+            disable only in tight benchmarking loops).
+    """
+
+    name = "Greedy"
+
+    def __init__(self, min_gain: float = 1e-9, verify: bool = True) -> None:
+        if min_gain < 0:
+            raise ValueError("min_gain must be non-negative")
+        self.min_gain = min_gain
+        self.verify = verify
+
+    def allocate(
+        self, queries: Sequence[Query], sensors: Sequence[SensorSnapshot]
+    ) -> AllocationResult:
+        check_distinct(queries, sensors)
+        result = AllocationResult()
+        if not queries or not sensors:
+            return result
+
+        states: dict[str, ValuationState] = {q.query_id: q.new_state() for q in queries}
+        queries_by_id = {q.query_id: q for q in queries}
+
+        # The paper's Q_{l_s}: only queries a sensor could possibly serve.
+        relevant: dict[int, list[str]] = {}
+        remaining: dict[int, SensorSnapshot] = {}
+        for snapshot in sensors:
+            qids = [q.query_id for q in queries if q.relevant(snapshot)]
+            if qids:
+                relevant[snapshot.sensor_id] = qids
+                remaining[snapshot.sensor_id] = snapshot
+
+        # Cached (net utility, per-query positive gains); recomputed lazily.
+        cache: dict[int, tuple[float, dict[str, float]]] = {}
+        dirty = set(remaining)
+
+        while remaining:
+            for sid in dirty:
+                if sid not in remaining:
+                    continue
+                snapshot = remaining[sid]
+                gains: dict[str, float] = {}
+                for qid in relevant[sid]:
+                    gain = states[qid].gain(snapshot)
+                    if gain > self.min_gain:
+                        gains[qid] = gain
+                cache[sid] = (sum(gains.values()) - snapshot.cost, gains)
+            dirty.clear()
+
+            best_sid = max(remaining, key=lambda sid: cache[sid][0])
+            best_net, best_gains = cache[best_sid]
+            if best_net <= 0.0 or not best_gains:
+                break
+
+            snapshot = remaining.pop(best_sid)
+            cache.pop(best_sid, None)
+            shares = proportionate_shares(best_gains, snapshot.cost)
+            for qid, gain in best_gains.items():
+                realized = states[qid].add(snapshot)
+                # The committed gain must match the cached evaluation; the
+                # states are only mutated here, so any drift is a query-
+                # implementation bug worth failing loudly on.
+                if abs(realized - gain) > 1e-6 * max(1.0, abs(gain)):
+                    raise RuntimeError(
+                        f"query {qid} marginal gain drifted: cached {gain}, "
+                        f"realized {realized}"
+                    )
+                result.record(queries_by_id[qid], snapshot, gain, shares[qid])
+
+            # Invalidate sensors sharing any query that just grew.
+            touched = set(best_gains)
+            for sid in remaining:
+                if touched.intersection(relevant[sid]):
+                    dirty.add(sid)
+
+        if self.verify:
+            result.verify()
+        return result

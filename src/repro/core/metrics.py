@@ -1,0 +1,97 @@
+"""Accounting for the paper's evaluation metrics (Section 4).
+
+Three quantities appear in every figure:
+
+* **average utility per time slot** — the slot's social welfare
+  ``sum_q v_q - sum_s c_s``, averaged over the simulation;
+* **query satisfaction ratio** — the fraction of issued point queries that
+  were answered (Figures 2-6);
+* **average quality of results** — per answered query, the achieved
+  valuation over the maximum of its valuation function (Figures 7-10);
+  for region monitoring the reference is the *planned* valuation, which is
+  how the paper's Figure 9(b) exceeds 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SlotRecord", "SimulationSummary"]
+
+
+@dataclass
+class SlotRecord:
+    """Per-slot accounting."""
+
+    slot: int
+    value: float = 0.0
+    cost: float = 0.0
+    issued: int = 0
+    answered: int = 0
+    qualities: list[float] = field(default_factory=list)
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def utility(self) -> float:
+        return self.value - self.cost
+
+
+@dataclass
+class SimulationSummary:
+    """Aggregated outcome of one simulation run."""
+
+    slots: list[SlotRecord] = field(default_factory=list)
+    #: quality-of-results samples per query-type label (e.g. "point",
+    #: "aggregate", "location_monitoring"); monitoring entries are appended
+    #: when a query completes.
+    quality_samples: dict[str, list[float]] = field(default_factory=dict)
+    #: count of queries whose net utility was positive — the egalitarian
+    #: objective the paper mentions as an alternative (Section 2).
+    positive_utility_queries: int = 0
+    total_queries: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        return len(self.slots)
+
+    @property
+    def total_utility(self) -> float:
+        return float(sum(r.utility for r in self.slots))
+
+    @property
+    def average_utility(self) -> float:
+        """Average utility per time slot — the y-axis of every (a) figure."""
+        if not self.slots:
+            return 0.0
+        return self.total_utility / len(self.slots)
+
+    @property
+    def satisfaction_ratio(self) -> float:
+        """Answered / issued over the whole run (Figures 2-6 (b))."""
+        issued = sum(r.issued for r in self.slots)
+        if issued == 0:
+            return 0.0
+        return sum(r.answered for r in self.slots) / issued
+
+    def average_quality(self, label: str) -> float:
+        """Mean quality of results for one query type (Figures 7-10 (b-d))."""
+        samples = self.quality_samples.get(label, [])
+        if not samples:
+            return 0.0
+        return float(sum(samples) / len(samples))
+
+    def add_quality(self, label: str, quality: float) -> None:
+        self.quality_samples.setdefault(label, []).append(quality)
+
+    def record_query_outcome(self, utility: float) -> None:
+        self.total_queries += 1
+        if utility > 0:
+            self.positive_utility_queries += 1
+
+    @property
+    def egalitarian_ratio(self) -> float:
+        """Fraction of queries ending with strictly positive utility."""
+        if self.total_queries == 0:
+            return 0.0
+        return self.positive_utility_queries / self.total_queries

@@ -1,0 +1,147 @@
+"""Shared representation of a single-sensor point-query scheduling problem.
+
+Section 3.1 algorithms (optimal BILP, local search, the Section 4.3
+baseline) all operate on the same structure: queried locations ``l``, the
+per-location aggregated values ``v_l(s) = sum_{q in Q_l} v_q(s)`` and the
+sensor costs.  :class:`PointProblem` builds that structure once per slot —
+vectorized, because the paper-scale instances evaluate hundreds of queries
+against hundreds of sensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..queries import PointQuery
+from ..sensors import SensorSnapshot
+from ..spatial import Location
+from .allocation import AllocationResult, check_distinct
+from .errors import AllocationError
+from .payments import proportionate_shares
+
+__all__ = ["PointProblem"]
+
+
+@dataclass
+class PointProblem:
+    """Dense value matrix form of a point-query allocation instance.
+
+    Attributes:
+        sensors: the slot's announcements (column order of the matrices).
+        locations: distinct queried locations (row order).
+        location_queries: queries grouped per location.
+        query_values: per query, its value row ``v_q(s_j)`` over sensors.
+        values: the aggregated matrix ``V[l, j] = v_l(s_j)`` of eq. 9/12.
+        costs: announced sensor costs ``c_j``.
+    """
+
+    sensors: list[SensorSnapshot]
+    locations: list[Location]
+    location_queries: list[list[PointQuery]]
+    query_values: dict[str, np.ndarray]
+    values: np.ndarray
+    costs: np.ndarray
+
+    @classmethod
+    def build(
+        cls, queries: list[PointQuery], sensors: list[SensorSnapshot]
+    ) -> "PointProblem":
+        for query in queries:
+            if not isinstance(query, PointQuery):
+                raise AllocationError(
+                    f"point-query allocators accept only PointQuery, got "
+                    f"{type(query).__name__} ({query.query_id})"
+                )
+        check_distinct(queries, sensors)
+        sensors = list(sensors)
+        n = len(sensors)
+        sensor_xy = np.asarray([(s.location.x, s.location.y) for s in sensors], dtype=float)
+        gamma = np.asarray([s.inaccuracy for s in sensors], dtype=float)
+        trust = np.asarray([s.trust for s in sensors], dtype=float)
+
+        groups: dict[tuple[float, float], list[PointQuery]] = {}
+        for query in queries:
+            groups.setdefault((query.location.x, query.location.y), []).append(query)
+        locations = [Location(x, y) for (x, y) in groups]
+        location_queries = list(groups.values())
+
+        values = np.zeros((len(locations), n))
+        query_values: dict[str, np.ndarray] = {}
+        for row, (loc, grouped) in enumerate(zip(locations, location_queries)):
+            if n:
+                diff = sensor_xy - np.array([loc.x, loc.y])
+                dist = np.sqrt((diff**2).sum(axis=1))
+            else:
+                dist = np.zeros(0)
+            for query in grouped:
+                quality = (1.0 - gamma) * trust * (1.0 - dist / query.dmax)
+                quality[dist > query.dmax] = 0.0
+                quality[quality < query.theta_min] = 0.0
+                row_values = query.budget * quality
+                query_values[query.query_id] = row_values
+                values[row] += row_values
+        return cls(sensors, locations, location_queries, query_values, values, costs=np.asarray([s.cost for s in sensors], dtype=float))
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_sensors(self) -> int:
+        return len(self.sensors)
+
+    @property
+    def n_locations(self) -> int:
+        return len(self.locations)
+
+    def utility(self, member_mask: np.ndarray) -> float:
+        """Eq. (12): ``u(S') = sum_l max_{s in S'} v_l(s) - sum_{s in S'} c_s``."""
+        if not member_mask.any():
+            return 0.0
+        best = self.values[:, member_mask].max(axis=1)
+        return float(np.maximum(best, 0.0).sum() - self.costs[member_mask].sum())
+
+    def assign_winners(self, member_mask: np.ndarray) -> dict[int, int]:
+        """Map location row -> winning sensor column within the member set.
+
+        "Each sensor is assigned to a query location for which it yields the
+        best valuation compared to other sensors" (Section 3.1.2); locations
+        where even the best member yields nothing stay unassigned.
+        """
+        winners: dict[int, int] = {}
+        if not member_mask.any():
+            return winners
+        member_idx = np.flatnonzero(member_mask)
+        sub = self.values[:, member_idx]
+        best_pos = sub.argmax(axis=1)
+        best_val = sub[np.arange(len(self.locations)), best_pos]
+        for row in range(len(self.locations)):
+            if best_val[row] > 0.0:
+                winners[row] = int(member_idx[best_pos[row]])
+        return winners
+
+    def settle(self, winners: dict[int, int]) -> AllocationResult:
+        """Build the allocation result + eq. (11) payments for a winner map.
+
+        For each selected sensor, the denominator of eq. (11) is the total
+        value it yields across all locations it won; each query at such a
+        location with positive value gets the reading and pays its
+        proportionate share.
+        """
+        result = AllocationResult()
+        by_sensor: dict[int, list[int]] = {}
+        for row, col in winners.items():
+            by_sensor.setdefault(col, []).append(row)
+        for col, rows in by_sensor.items():
+            snapshot = self.sensors[col]
+            beneficiary_values: dict[str, float] = {}
+            for row in rows:
+                for query in self.location_queries[row]:
+                    value = float(self.query_values[query.query_id][col])
+                    if value > 0.0:
+                        beneficiary_values[query.query_id] = value
+            shares = proportionate_shares(beneficiary_values, snapshot.cost)
+            for qid, value in beneficiary_values.items():
+                result.record(qid, snapshot, value, shares[qid])
+        return result

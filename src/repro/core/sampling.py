@@ -1,0 +1,159 @@
+"""Sampling-point selection for region monitoring — Algorithm 4 (Section 3.3).
+
+Given the sensors currently inside a region-monitoring query's region, the
+remaining budget and the GP value function ``F``, the algorithm greedily
+fills per-time-slot sampling sets ``S_t`` for ``t = t_now .. q.t2``,
+maximizing at each step::
+
+    delta_{s,t} = (F(S_t + s) - F(S_t)) * theta_s * time_factor(t)
+
+under the assumption that "the current location of sensors will not change
+in the future".  Only ``S_{t_now}`` is executed; the future sets exist to
+spread the budget over the query's lifetime.  The time factor down-weights
+future slots so the current slot wins ties — the paper uses
+``(t2 - t) / (t2 - t1)``, which zeroes the final slot and would starve a
+query on its last day; we use the strictly positive
+``(t2 - t + 1) / (t2 - t1 + 1)`` (documented deviation, same intent).
+
+Cost weighting: the greedy accumulates *weighted* costs (eq. 18's ``w(k)``
+sharing discount applied by the caller), so a sensor inside many monitored
+regions looks cheaper and gets planned more aggressively — the actual
+payment happens later in the joint allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..phenomena import VarianceReductionState
+from ..queries import RegionMonitoringQuery, sensor_quality
+from ..sensors import SensorSnapshot
+
+__all__ = ["SamplingPlan", "plan_sampling", "paper_weight_function"]
+
+
+def paper_weight_function(k: int) -> float:
+    """Eq. (18) cost-sharing weight, normalized into (0, 1].
+
+    The printed formula (``11 - k`` for ``k < 10``, else 0.1) contradicts
+    the surrounding text ("w ... returns a real value between 0 and 1");
+    dividing by 10 reconciles them exactly: 1.0 at k = 1 down to 0.2 at
+    k = 9, and the printed 0.1 floor for k >= 10.  ``k = 0`` (sensor in no
+    monitored region) keeps its full cost.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0:
+        return 1.0
+    if k < 10:
+        return (11 - k) / 10.0
+    return 0.1
+
+
+@dataclass
+class SamplingPlan:
+    """Output of Algorithm 4 for one query at one slot."""
+
+    query_id: str
+    current: list[SensorSnapshot] = field(default_factory=list)  # S_{t_now}
+    future: dict[int, list[int]] = field(default_factory=dict)  # t -> sensor ids
+    expected_cost: float = 0.0  # C_t: actual (unweighted) cost of `current`
+    planned_value: float = 0.0  # eq. 7 slot value of `current`
+    marginal_values: dict[int, float] = field(default_factory=dict)  # sensor -> delta v
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.current
+
+
+def plan_sampling(
+    query: RegionMonitoringQuery,
+    snapshots: list[SensorSnapshot],
+    t_now: int,
+    weighted_costs: dict[int, float] | None = None,
+    budget: float | None = None,
+    max_additions: int = 256,
+) -> SamplingPlan:
+    """Run Algorithm 4; returns the plan whose ``current`` set is executed.
+
+    Args:
+        query: the region-monitoring query.
+        snapshots: sensors currently inside ``query.region``.
+        t_now: the current slot (must satisfy ``query.active(t_now)``).
+        weighted_costs: optional eq.-18-discounted cost per sensor id;
+            defaults to announced costs.
+        budget: spending cap ``B``; defaults to the query's remaining budget.
+        max_additions: safety valve on greedy iterations.
+    """
+    if not query.active(t_now):
+        raise ValueError(f"query {query.query_id} is not active at slot {t_now}")
+    plan = SamplingPlan(query_id=query.query_id)
+    if not snapshots:
+        return plan
+    budget = query.remaining_budget if budget is None else budget
+    if budget <= 0:
+        return plan
+    costs = (
+        {s.sensor_id: s.cost for s in snapshots}
+        if weighted_costs is None
+        else weighted_costs
+    )
+
+    horizon = range(t_now, query.t2 + 1)
+    states: dict[int, VarianceReductionState] = {
+        t: query.reduction_state() for t in horizon
+    }
+    chosen: dict[int, list[SensorSnapshot]] = {t: [] for t in horizon}
+    chosen_ids: dict[int, set[int]] = {t: set() for t in horizon}
+    span = query.t2 - query.t1 + 1
+
+    # Cache delta_{s,t}; only the slot whose state grew goes stale.
+    gains: dict[int, dict[int, float]] = {}
+
+    def refresh(t: int) -> None:
+        time_factor = (query.t2 - t + 1) / span
+        slot_gains: dict[int, float] = {}
+        for snapshot in snapshots:
+            if snapshot.sensor_id in chosen_ids[t]:
+                continue
+            raw = states[t].gain(snapshot.location)
+            slot_gains[snapshot.sensor_id] = (
+                raw * sensor_quality(snapshot) * time_factor
+            )
+        gains[t] = slot_gains
+
+    for t in horizon:
+        refresh(t)
+    by_id = {s.sensor_id: s for s in snapshots}
+
+    spent = 0.0
+    for _ in range(max_additions):
+        if spent >= budget:
+            break
+        best_delta, best_sid, best_t = 0.0, None, None
+        for t in horizon:
+            for sid, delta in gains[t].items():
+                if delta > best_delta:
+                    best_delta, best_sid, best_t = delta, sid, t
+        if best_sid is None:
+            break
+        snapshot = by_id[best_sid]
+        states[best_t].add(snapshot.location)
+        chosen[best_t].append(snapshot)
+        chosen_ids[best_t].add(best_sid)
+        spent += costs.get(best_sid, snapshot.cost)
+        refresh(best_t)
+
+    plan.current = chosen[t_now]
+    plan.future = {
+        t: [s.sensor_id for s in members]
+        for t, members in chosen.items()
+        if t != t_now and members
+    }
+    plan.expected_cost = float(sum(s.cost for s in plan.current))
+    plan.planned_value = query.slot_value(plan.current)
+    for i, snapshot in enumerate(plan.current):
+        without = plan.current[:i] + plan.current[i + 1 :]
+        marginal = plan.planned_value - query.slot_value(without)
+        plan.marginal_values[snapshot.sensor_id] = max(0.0, marginal)
+    return plan

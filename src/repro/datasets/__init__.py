@@ -1,0 +1,19 @@
+"""Scenario builders: frozen, reproducible worlds per dataset (Section 4.2)."""
+
+from .intel import IntelScenario, build_intel_scenario
+from .ozone import OzoneDataset, build_ozone_dataset
+from .rnc import build_rnc_scenario
+from .rwm import RWM_REGION, RWM_WORKING_REGION, build_rwm_scenario
+from .scenario import Scenario
+
+__all__ = [
+    "Scenario",
+    "build_rwm_scenario",
+    "build_rnc_scenario",
+    "build_intel_scenario",
+    "IntelScenario",
+    "build_ozone_dataset",
+    "OzoneDataset",
+    "RWM_REGION",
+    "RWM_WORKING_REGION",
+]

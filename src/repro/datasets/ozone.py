@@ -1,0 +1,51 @@
+"""The ozone-trace scenario substitute (Section 4.5).
+
+The paper drives location-monitoring sampling-time selection with an ozone
+trace from the OpenSense Zürich deployment and a linear regression model.
+We synthesize a daily-periodic series of the same character and expose it
+with its fitted model family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..phenomena import HarmonicRegressionModel, OzoneTraceSynthesizer
+
+__all__ = ["OzoneDataset", "build_ozone_dataset"]
+
+
+@dataclass(frozen=True)
+class OzoneDataset:
+    """Historical series + the regression model family used on it."""
+
+    series: tuple[float, ...]
+    period: int
+    n_harmonics: int
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self.series, dtype=float)
+
+    def model(self) -> HarmonicRegressionModel:
+        return HarmonicRegressionModel(self.period, self.n_harmonics)
+
+
+@lru_cache(maxsize=8)
+def build_ozone_dataset(
+    seed: int = 2013,
+    n_slots: int = 50,
+    period: int = 50,
+    n_harmonics: int = 1,
+) -> OzoneDataset:
+    """One simulated day of ozone history (paper: 50 slots)."""
+    rng = np.random.default_rng(seed)
+    series = OzoneTraceSynthesizer(period=period).generate(n_slots, rng)
+    return OzoneDataset(
+        series=tuple(float(v) for v in series),
+        period=period,
+        n_harmonics=n_harmonics,
+    )

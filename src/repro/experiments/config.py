@@ -1,0 +1,98 @@
+"""Experiment scales: the paper's parameters and a fast CI shrink.
+
+``paper`` replicates Section 4's published setup (50 slots, 300 point
+queries per slot, 200/635 sensors, full sweeps).  ``ci`` runs the same code
+paths at a fraction of the size so the whole benchmark suite finishes in a
+couple of minutes; every qualitative relationship (who wins, where the
+baseline collapses) is preserved.
+
+Select via the ``REPRO_SCALE`` environment variable or pass a scale object
+explicitly to the figure functions.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "PAPER", "CI", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All size knobs of the evaluation in one place."""
+
+    name: str
+    n_slots: int
+    # point-query experiments (Figures 2-6)
+    point_queries_per_slot: int
+    rwm_sensors: int
+    rnc_sensors: int
+    rnc_presence: float
+    budgets: tuple[float, ...]
+    query_counts: tuple[int, ...]  # Figure 5 sweep
+    # aggregate experiments (Figure 7)
+    aggregate_mean_queries: int
+    aggregate_budget_factors: tuple[float, ...]
+    # monitoring experiments (Figures 8-9)
+    monitoring_budget_factors: tuple[float, ...]
+    lm_max_live: int
+    lm_arrivals_per_slot: int
+    intel_sensors: int
+    # mix experiment (Figure 10)
+    mix_budget_factors: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+
+
+PAPER = ExperimentScale(
+    name="paper",
+    n_slots=50,
+    point_queries_per_slot=300,
+    rwm_sensors=200,
+    rnc_sensors=635,
+    rnc_presence=120.0,
+    budgets=(7, 10, 15, 20, 25, 30, 35),
+    query_counts=(250, 500, 750, 1000),
+    aggregate_mean_queries=30,
+    aggregate_budget_factors=(7, 10, 15, 20, 25, 30, 35),
+    monitoring_budget_factors=(7, 10, 15, 20, 25),
+    lm_max_live=100,
+    lm_arrivals_per_slot=10,
+    intel_sensors=30,
+    mix_budget_factors=(7, 10, 15, 20, 25),
+)
+
+CI = ExperimentScale(
+    name="ci",
+    n_slots=6,
+    point_queries_per_slot=60,
+    rwm_sensors=60,
+    rnc_sensors=150,
+    rnc_presence=30.0,
+    budgets=(7, 15, 35),
+    query_counts=(50, 150),
+    aggregate_mean_queries=8,
+    aggregate_budget_factors=(7, 15, 35),
+    monitoring_budget_factors=(7, 15, 25),
+    lm_max_live=20,
+    lm_arrivals_per_slot=5,
+    intel_sensors=20,
+    mix_budget_factors=(7, 15, 25),
+)
+
+_SCALES = {"paper": PAPER, "ci": CI}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a scale by name, the ``REPRO_SCALE`` env var, or default CI."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "ci")
+    try:
+        return _SCALES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
+        ) from None

@@ -1,0 +1,69 @@
+"""Sweep plumbing shared by every figure reproduction."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FigureResult", "SeriesCollector"]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: an x-sweep of metrics per algorithm.
+
+    ``series[algorithm][metric]`` is a list aligned with ``x_values`` —
+    exactly the rows the paper plots.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: list[float] = field(default_factory=list)
+    series: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    notes: str = ""
+
+    def add(self, algorithm: str, metric: str, value: float) -> None:
+        self.series.setdefault(algorithm, {}).setdefault(metric, []).append(
+            float(value)
+        )
+
+    def metric(self, algorithm: str, metric: str) -> list[float]:
+        return self.series[algorithm][metric]
+
+    # ------------------------------------------------------------------
+    # shape checks used by benches and EXPERIMENTS.md
+    # ------------------------------------------------------------------
+    def dominates(
+        self,
+        winner: str,
+        loser: str,
+        metric: str,
+        slack: float = 0.0,
+    ) -> bool:
+        """``winner``'s series is >= ``loser``'s at every x (minus slack)."""
+        w = self.metric(winner, metric)
+        l = self.metric(loser, metric)
+        return all(a >= b - slack for a, b in zip(w, l))
+
+    def mean_advantage(self, winner: str, loser: str, metric: str) -> float:
+        """Average (winner - loser) across the sweep."""
+        w = self.metric(winner, metric)
+        l = self.metric(loser, metric)
+        return float(sum(a - b for a, b in zip(w, l)) / len(w))
+
+
+class SeriesCollector:
+    """Context helper timing a figure run."""
+
+    def __init__(self, figure: FigureResult) -> None:
+        self.figure = figure
+        self._start = 0.0
+
+    def __enter__(self) -> FigureResult:
+        self._start = time.perf_counter()
+        return self.figure
+
+    def __exit__(self, *exc) -> None:
+        self.figure.elapsed_seconds = time.perf_counter() - self._start

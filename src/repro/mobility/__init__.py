@@ -1,0 +1,26 @@
+"""Mobility substrate: generative models and trace replay."""
+
+from .base import MobilityModel
+from .nokia import (
+    PAPER_RNC_REGION,
+    PAPER_RNC_WORKING_REGION,
+    NokiaCampaignSynthesizer,
+)
+from .random_waypoint import RandomWaypointMobility, WaypointMobility
+from .stationary import StationaryMobility
+from .statistics import TraceStatistics, compute_statistics
+from .trace import MobilityTrace, TraceMobility
+
+__all__ = [
+    "MobilityModel",
+    "RandomWaypointMobility",
+    "WaypointMobility",
+    "StationaryMobility",
+    "MobilityTrace",
+    "TraceMobility",
+    "NokiaCampaignSynthesizer",
+    "TraceStatistics",
+    "compute_statistics",
+    "PAPER_RNC_REGION",
+    "PAPER_RNC_WORKING_REGION",
+]

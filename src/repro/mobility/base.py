@@ -1,0 +1,69 @@
+"""Mobility model interface.
+
+A mobility model owns the positions of a population of sensors and advances
+them one time slot at a time.  The aggregator never controls movement
+(uncontrolled mobility is the defining obstacle the paper tackles): it only
+*observes* positions at the start of each slot, when the sensors announce
+location and price.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from ..spatial import Location, Region
+
+__all__ = ["MobilityModel"]
+
+
+class MobilityModel(abc.ABC):
+    """Positions of ``n_sensors`` sensors, advanced slot by slot."""
+
+    @property
+    @abc.abstractmethod
+    def n_sensors(self) -> int:
+        """Number of sensors driven by this model."""
+
+    @property
+    @abc.abstractmethod
+    def region(self) -> Region:
+        """The full movement region (sensors may roam outside the hotspot)."""
+
+    @abc.abstractmethod
+    def locations(self) -> Sequence[Location]:
+        """Current location of every sensor, indexed by sensor index."""
+
+    @abc.abstractmethod
+    def advance(self) -> None:
+        """Move every sensor one time slot forward."""
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all models
+    # ------------------------------------------------------------------
+    def location_of(self, index: int) -> Location:
+        """Current location of sensor ``index``."""
+        return self.locations()[index]
+
+    def present_in(self, region: Region) -> list[int]:
+        """Indices of sensors currently inside ``region``.
+
+        The aggregator restricts itself to the working subregion
+        ("hotspot"): sensors outside it are invisible for the slot but may
+        re-enter later (Section 4.2).
+        """
+        return [i for i, loc in enumerate(self.locations()) if region.contains(loc)]
+
+    def run(self, n_slots: int) -> list[list[Location]]:
+        """Record positions over ``n_slots`` slots (including the current one).
+
+        Returns a list of per-slot position lists; useful for converting a
+        generative model into a replayable trace.
+        """
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        frames = [list(self.locations())]
+        for _ in range(n_slots - 1):
+            self.advance()
+            frames.append(list(self.locations()))
+        return frames

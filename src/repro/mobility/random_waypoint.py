@@ -1,0 +1,173 @@
+"""The paper's random-waypoint variant (RWM dataset, Section 4.2).
+
+The paper's RWM is a simplification of Johnson & Maltz's random waypoint
+model [6]: at each slot every sensor moves from its current location "with a
+speed randomly selected between zero and a sensor-specific maximum speed.
+The direction of the movement is either up, down, left, or right, and is
+randomly selected."  Movement is limited to the rectangular region (80x80
+grids by default); maximum speeds are drawn uniformly from {4, 5} at
+initialization, and sensors start spread uniformly over the region.
+
+We also provide the classic waypoint-target variant
+(:class:`WaypointMobility`) because the RNC-substitute generator builds on
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..spatial import Location, Region
+from .base import MobilityModel
+
+__all__ = ["RandomWaypointMobility", "WaypointMobility"]
+
+_DIRECTIONS = np.asarray([(0.0, 1.0), (0.0, -1.0), (-1.0, 0.0), (1.0, 0.0)])
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Axis-aligned random walk with per-sensor maximum speed.
+
+    Args:
+        region: the full movement rectangle (sensors are clamped inside it).
+        n_sensors: population size (paper default 200 for RWM experiments).
+        rng: numpy random generator; all randomness flows through it.
+        max_speed_choices: per-sensor max speed is drawn uniformly from
+            these (paper: ``(4, 5)``).
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        n_sensors: int,
+        rng: np.random.Generator,
+        max_speed_choices: Sequence[float] = (4.0, 5.0),
+    ) -> None:
+        if n_sensors <= 0:
+            raise ValueError("n_sensors must be positive")
+        if not max_speed_choices:
+            raise ValueError("max_speed_choices must be non-empty")
+        self._region = region
+        self._rng = rng
+        self._max_speeds = rng.choice(np.asarray(max_speed_choices, dtype=float), size=n_sensors)
+        xs = rng.uniform(region.x_min, region.x_max, size=n_sensors)
+        ys = rng.uniform(region.y_min, region.y_max, size=n_sensors)
+        self._positions = np.column_stack([xs, ys])
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self._positions)
+
+    @property
+    def region(self) -> Region:
+        return self._region
+
+    @property
+    def max_speeds(self) -> np.ndarray:
+        """Per-sensor maximum speeds (read-only view)."""
+        return self._max_speeds.copy()
+
+    def locations(self) -> list[Location]:
+        return [Location(float(x), float(y)) for x, y in self._positions]
+
+    def advance(self) -> None:
+        n = self.n_sensors
+        speeds = self._rng.uniform(0.0, self._max_speeds)
+        directions = _DIRECTIONS[self._rng.integers(0, 4, size=n)]
+        self._positions = self._positions + directions * speeds[:, None]
+        np.clip(
+            self._positions[:, 0],
+            self._region.x_min,
+            self._region.x_max,
+            out=self._positions[:, 0],
+        )
+        np.clip(
+            self._positions[:, 1],
+            self._region.y_min,
+            self._region.y_max,
+            out=self._positions[:, 1],
+        )
+
+
+class WaypointMobility(MobilityModel):
+    """Classic random waypoint: pick a target, travel to it, pause, repeat.
+
+    Used as the trip engine of the Nokia-campaign substitute
+    (:mod:`repro.mobility.nokia`), where targets are drawn from per-sensor
+    anchor points instead of uniformly.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        n_sensors: int,
+        rng: np.random.Generator,
+        min_speed: float = 1.0,
+        max_speed: float = 5.0,
+        max_pause: int = 3,
+    ) -> None:
+        if n_sensors <= 0:
+            raise ValueError("n_sensors must be positive")
+        if not (0 < min_speed <= max_speed):
+            raise ValueError("need 0 < min_speed <= max_speed")
+        if max_pause < 0:
+            raise ValueError("max_pause must be non-negative")
+        self._region = region
+        self._rng = rng
+        self._min_speed = min_speed
+        self._max_speed = max_speed
+        self._max_pause = max_pause
+        xs = rng.uniform(region.x_min, region.x_max, size=n_sensors)
+        ys = rng.uniform(region.y_min, region.y_max, size=n_sensors)
+        self._positions = np.column_stack([xs, ys])
+        self._targets = self._positions.copy()
+        self._speeds = np.zeros(n_sensors)
+        self._pauses = np.zeros(n_sensors, dtype=int)
+        for i in range(n_sensors):
+            self._assign_trip(i)
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self._positions)
+
+    @property
+    def region(self) -> Region:
+        return self._region
+
+    def locations(self) -> list[Location]:
+        return [Location(float(x), float(y)) for x, y in self._positions]
+
+    def sample_target(self, index: int) -> Location:
+        """Next trip destination for sensor ``index``; uniform by default.
+
+        Subclasses override this to bias destinations (e.g. towards home
+        and work anchors in the Nokia substitute).
+        """
+        return self._region.sample_location(self._rng)
+
+    def advance(self) -> None:
+        for i in range(self.n_sensors):
+            if self._pauses[i] > 0:
+                self._pauses[i] -= 1
+                if self._pauses[i] == 0:
+                    self._assign_trip(i)
+                continue
+            pos = self._positions[i]
+            target = self._targets[i]
+            delta = target - pos
+            dist = float(np.hypot(delta[0], delta[1]))
+            step = self._speeds[i]
+            if dist <= step:
+                self._positions[i] = target
+                self._pauses[i] = int(self._rng.integers(0, self._max_pause + 1))
+                if self._pauses[i] == 0:
+                    self._assign_trip(i)
+            else:
+                self._positions[i] = pos + delta / dist * step
+
+    def _assign_trip(self, index: int) -> None:
+        target = self.sample_target(index)
+        self._targets[index] = (target.x, target.y)
+        self._speeds[index] = self._rng.uniform(self._min_speed, self._max_speed)

@@ -1,0 +1,43 @@
+"""Stationary "mobility": sensors that never move.
+
+The Intel-Lab replay (Section 4.2) mixes a stationary ground-truth
+deployment with 30 imaginary mobile sensors; the stationary part uses this
+model.  It is also handy in unit tests where deterministic geometry is
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..spatial import Location, Region
+from .base import MobilityModel
+
+__all__ = ["StationaryMobility"]
+
+
+class StationaryMobility(MobilityModel):
+    """Fixed sensor positions; :meth:`advance` is a no-op."""
+
+    def __init__(self, region: Region, positions: Sequence[Location]) -> None:
+        if not positions:
+            raise ValueError("need at least one sensor position")
+        outside = [p for p in positions if not region.contains(p)]
+        if outside:
+            raise ValueError(f"{len(outside)} positions fall outside the region")
+        self._region = region
+        self._positions = tuple(positions)
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self._positions)
+
+    @property
+    def region(self) -> Region:
+        return self._region
+
+    def locations(self) -> tuple[Location, ...]:
+        return self._positions
+
+    def advance(self) -> None:
+        return None

@@ -1,0 +1,113 @@
+"""Trace statistics: the quantities the dataset substitutes must match.
+
+The RNC substitute is credible exactly to the extent that the statistics
+the algorithms consume match the paper's published ones.  This module
+computes them from any :class:`~repro.mobility.trace.MobilityTrace` — ours
+or a user-supplied real one — so substitutes can be validated (and
+recalibrated) quantitatively:
+
+* per-slot presence inside a working region (mean / min / max);
+* churn: how many sensors enter and leave the region per slot;
+* dwell: distribution of consecutive-slot stays inside the region;
+* displacement: per-slot movement distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..spatial import Region
+from .trace import MobilityTrace
+
+__all__ = ["TraceStatistics", "compute_statistics"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary of one trace relative to a working region."""
+
+    n_slots: int
+    n_sensors: int
+    mean_presence: float
+    min_presence: int
+    max_presence: int
+    mean_entries_per_slot: float
+    mean_exits_per_slot: float
+    mean_dwell: float
+    median_step: float
+    p90_step: float
+
+    def format(self) -> str:
+        return "\n".join(
+            [
+                f"slots={self.n_slots} sensors={self.n_sensors}",
+                (
+                    f"presence: mean={self.mean_presence:.1f} "
+                    f"min={self.min_presence} max={self.max_presence}"
+                ),
+                (
+                    f"churn/slot: entries={self.mean_entries_per_slot:.1f} "
+                    f"exits={self.mean_exits_per_slot:.1f}"
+                ),
+                f"dwell (slots in region): mean={self.mean_dwell:.1f}",
+                f"step length: median={self.median_step:.2f} p90={self.p90_step:.2f}",
+            ]
+        )
+
+
+def compute_statistics(trace: MobilityTrace, working_region: Region) -> TraceStatistics:
+    """All substitute-validation statistics in one pass over the trace."""
+    inside = np.zeros((trace.n_slots, trace.n_sensors), dtype=bool)
+    for t, frame in enumerate(trace.frames):
+        for i, location in enumerate(frame):
+            inside[t, i] = working_region.contains(location)
+
+    presence = inside.sum(axis=1)
+
+    if trace.n_slots > 1:
+        entered = (~inside[:-1] & inside[1:]).sum(axis=1)
+        exited = (inside[:-1] & ~inside[1:]).sum(axis=1)
+        mean_entries = float(entered.mean())
+        mean_exits = float(exited.mean())
+    else:
+        mean_entries = mean_exits = 0.0
+
+    # Dwell: lengths of maximal runs of consecutive in-region slots.
+    dwells: list[int] = []
+    for i in range(trace.n_sensors):
+        run = 0
+        for t in range(trace.n_slots):
+            if inside[t, i]:
+                run += 1
+            elif run:
+                dwells.append(run)
+                run = 0
+        if run:
+            dwells.append(run)
+    mean_dwell = float(np.mean(dwells)) if dwells else 0.0
+
+    # Step lengths between consecutive frames.
+    steps: list[float] = []
+    for t in range(1, trace.n_slots):
+        for a, b in zip(trace.frames[t - 1], trace.frames[t]):
+            steps.append(a.distance_to(b))
+    if steps:
+        median_step = float(np.median(steps))
+        p90_step = float(np.percentile(steps, 90))
+    else:
+        median_step = p90_step = 0.0
+
+    return TraceStatistics(
+        n_slots=trace.n_slots,
+        n_sensors=trace.n_sensors,
+        mean_presence=float(presence.mean()),
+        min_presence=int(presence.min()),
+        max_presence=int(presence.max()),
+        mean_entries_per_slot=mean_entries,
+        mean_exits_per_slot=mean_exits,
+        mean_dwell=mean_dwell,
+        median_step=median_step,
+        p90_step=p90_step,
+    )

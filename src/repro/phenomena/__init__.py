@@ -1,0 +1,34 @@
+"""Phenomena substrate: GP fields, synthetic datasets, regression models."""
+
+from .fields import INTEL_LAB_REGION, CorrelatedField, stationary_deployment
+from .gaussian_process import (
+    GaussianProcessField,
+    GPHyperParameters,
+    MaternKernel,
+    RBFKernel,
+    VarianceReductionState,
+    fit_hyperparameters,
+)
+from .sampling_times import schedule_for_window, select_sampling_times
+from .timeseries import (
+    HarmonicRegressionModel,
+    OzoneTraceSynthesizer,
+    residual_sum_of_squares,
+)
+
+__all__ = [
+    "RBFKernel",
+    "MaternKernel",
+    "GaussianProcessField",
+    "GPHyperParameters",
+    "VarianceReductionState",
+    "fit_hyperparameters",
+    "CorrelatedField",
+    "stationary_deployment",
+    "INTEL_LAB_REGION",
+    "OzoneTraceSynthesizer",
+    "HarmonicRegressionModel",
+    "residual_sum_of_squares",
+    "select_sampling_times",
+    "schedule_for_window",
+]

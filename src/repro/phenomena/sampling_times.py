@@ -1,0 +1,105 @@
+"""Sampling-time selection for location monitoring — OptiMoS [19] substitute.
+
+The paper delegates "determining the sampling times for a location
+monitoring query" to Yan et al.'s OptiMoS: given historical data and a fixed
+number of sampling times k, pick the k timestamps such that a model fit on
+the values at those timestamps minimizes the residuals against all the
+historical data.  OptiMoS itself is not available; this module implements
+that specification directly with a greedy forward selection (the classic
+heuristic for subset selection in regression).
+
+The output feeds ``q.T`` of Algorithm 2 and the eq. 16/17 valuation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .timeseries import HarmonicRegressionModel, residual_sum_of_squares
+
+__all__ = ["select_sampling_times", "schedule_for_window", "window_series"]
+
+
+def select_sampling_times(
+    series: np.ndarray,
+    k: int,
+    model: HarmonicRegressionModel,
+    candidates: Sequence[int] | None = None,
+) -> list[int]:
+    """Greedy choice of ``k`` timestamps minimizing model residuals.
+
+    Args:
+        series: the historical data (one value per past slot).
+        k: number of sampling times to select (the paper fixes it to one
+           third of the query duration).
+        model: the regression model family used for the residual criterion.
+        candidates: timestamps eligible for selection; defaults to every
+            index of ``series``.
+
+    Returns:
+        The selected timestamps in ascending order.
+
+    Raises:
+        ValueError: if ``k`` exceeds the number of candidates.
+    """
+    series = np.asarray(series, dtype=float)
+    pool = list(range(len(series))) if candidates is None else sorted(set(candidates))
+    if any(not (0 <= t < len(series)) for t in pool):
+        raise ValueError("candidate timestamps must index into the series")
+    if k < 0 or k > len(pool):
+        raise ValueError(f"cannot select {k} sampling times from {len(pool)} candidates")
+    selected: list[int] = []
+    remaining = set(pool)
+    for _ in range(k):
+        best_t = None
+        best_ssr = np.inf
+        for t in sorted(remaining):
+            ssr = residual_sum_of_squares(model, series, selected + [t])
+            if ssr < best_ssr:
+                best_t, best_ssr = t, ssr
+        if best_t is None:  # pragma: no cover - guarded by k <= len(pool)
+            break
+        selected.append(best_t)
+        remaining.discard(best_t)
+    return sorted(selected)
+
+
+def window_series(series: np.ndarray, start: int, duration: int) -> np.ndarray:
+    """The slice of history a query window maps onto, wrapping by period.
+
+    The paper's assumption is "the data values for the current time interval
+    are almost the same as the data values in the same time interval in the
+    past": slot ``start + d`` of the query corresponds to historical item
+    ``(start + d) mod len(series)``.
+    """
+    series = np.asarray(series, dtype=float)
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if len(series) == 0:
+        raise ValueError("series must be non-empty")
+    idx = (start + np.arange(duration)) % len(series)
+    return series[idx]
+
+
+def schedule_for_window(
+    series: np.ndarray,
+    start: int,
+    duration: int,
+    k: int,
+    model: HarmonicRegressionModel,
+) -> list[int]:
+    """Sampling times for a query live in ``[start, start + duration)``.
+
+    The residual criterion is evaluated *within the query's window*: the
+    model's job is to reconstruct the phenomenon during the monitoring
+    period, so both the fit timestamps and the residuals range over the
+    window's historical values.  (Scoring residuals over the full history
+    instead lets a regularized one-sample fit spuriously outscore the full
+    schedule whenever the window clusters in one phase of the period.)
+    """
+    local = window_series(series, start, duration)
+    k = min(k, duration)
+    offsets = select_sampling_times(local, k, model)
+    return sorted(start + o for o in offsets)

@@ -1,0 +1,124 @@
+"""Query abstractions shared by every allocator.
+
+The aggregator treats valuation functions as black boxes (Section 2: "the
+aggregator relies on the end users to provide a valuation function
+``v_q(.)`` with each query").  Concretely, every query exposes
+
+* :meth:`Query.value` — the set valuation ``v_q(S)`` over sensor snapshots;
+* :meth:`Query.relevant` — a cheap spatial prefilter (the paper's ``Q_ls``
+  in Algorithm 1: only queries a sensor can contribute to are examined);
+* :meth:`Query.new_state` — an incremental-valuation state so greedy
+  algorithms can evaluate marginal gains without recomputing ``v_q`` from
+  scratch (the default state does exactly that recomputation; performance-
+  critical query types override it).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import itertools
+from typing import Iterable, Sequence
+
+from ..sensors import SensorSnapshot
+
+__all__ = ["QueryType", "Query", "ValuationState", "new_query_id"]
+
+_query_counter = itertools.count()
+
+
+def new_query_id(prefix: str = "q") -> str:
+    """Process-unique query identifier (stable ordering, human readable)."""
+    return f"{prefix}{next(_query_counter)}"
+
+
+class QueryType(enum.Enum):
+    """The query taxonomy of Figure 1 (plus the event-detection extension)."""
+
+    POINT = "point"
+    MULTI_POINT = "multi_point"
+    AGGREGATE = "aggregate"
+    TRAJECTORY = "trajectory"
+    LOCATION_MONITORING = "location_monitoring"
+    REGION_MONITORING = "region_monitoring"
+    EVENT = "event"
+
+    @property
+    def is_continuous(self) -> bool:
+        return self in (
+            QueryType.LOCATION_MONITORING,
+            QueryType.REGION_MONITORING,
+            QueryType.EVENT,
+        )
+
+
+class ValuationState:
+    """Incremental evaluation of ``v_q`` while a greedy algorithm grows a set.
+
+    The generic implementation recomputes the full set valuation on every
+    :meth:`gain` call, which is always correct; query types with structure
+    (max for point queries, coverage masks for aggregates, GP Cholesky
+    updates for region monitoring) override for speed.
+    """
+
+    def __init__(self, query: "Query") -> None:
+        self.query = query
+        self.selected: list[SensorSnapshot] = []
+        self.value = 0.0
+
+    def gain(self, snapshot: SensorSnapshot) -> float:
+        """Marginal gain ``v_q(S + s) - v_q(S)`` without mutating the state."""
+        return self.query.value(self.selected + [snapshot]) - self.value
+
+    def add(self, snapshot: SensorSnapshot) -> float:
+        """Commit ``snapshot`` to the set; returns the realized gain."""
+        gain = self.gain(snapshot)
+        self.selected.append(snapshot)
+        self.value += gain
+        return gain
+
+
+class Query(abc.ABC):
+    """Base class: identity, budget, lifetime, and the valuation interface."""
+
+    def __init__(self, budget: float, query_id: str | None = None, issued_at: int = 0) -> None:
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.budget = budget
+        self.query_id = query_id if query_id is not None else new_query_id()
+        self.issued_at = issued_at
+
+    # ------------------------------------------------------------------
+    # the valuation interface
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def query_type(self) -> QueryType: ...
+
+    @abc.abstractmethod
+    def value(self, snapshots: Sequence[SensorSnapshot]) -> float:
+        """Set valuation ``v_q(S)`` in currency units."""
+
+    @abc.abstractmethod
+    def relevant(self, snapshot: SensorSnapshot) -> bool:
+        """Whether the sensor could contribute any value to this query."""
+
+    def new_state(self) -> ValuationState:
+        """Fresh incremental-valuation state (see :class:`ValuationState`)."""
+        return ValuationState(self)
+
+    @property
+    def max_value(self) -> float:
+        """Upper reference value used for quality-of-results reporting.
+
+        For the paper's valuation functions (eqs. 3, 5, 16) this is the
+        budget ``B_q``; region monitoring (eq. 7) may exceed it because
+        ``F`` is unbounded — the paper's Figure 9(b) shows exactly that.
+        """
+        return self.budget
+
+    def filter_relevant(self, snapshots: Iterable[SensorSnapshot]) -> list[SensorSnapshot]:
+        return [s for s in snapshots if self.relevant(s)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.query_id} budget={self.budget:g}>"

@@ -1,0 +1,172 @@
+"""Point queries (Section 2.2.1): eqs. (3) and (4).
+
+A *single-sensor* point query wants one reading of the phenomenon at a
+location ``l_q`` and values a sensor ``s`` by eq. (3)::
+
+    v_q(s) = B_q * theta_{q,s}   if theta_min <= theta_{q,s} <= 1, else 0
+
+where the reading quality (eq. 4) discounts distance, inherent inaccuracy
+and trust::
+
+    theta_q(s, l_q) = (1 - gamma_s) * (1 - |l_s - l_q| / dmax) * tau_s
+                      if |l_s - l_q| <= dmax, else 0
+
+A *multiple-sensor* point query asks for k redundant readings (e.g. to
+assess trustworthiness, Section 2.2.1) and values a set by the average of
+its k best qualities scaled by the fill ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sensors import SensorSnapshot
+from ..spatial import Location
+from .base import Query, QueryType, ValuationState
+
+__all__ = ["reading_quality", "PointQuery", "MultiSensorPointQuery"]
+
+
+def reading_quality(snapshot: SensorSnapshot, location: Location, dmax: float) -> float:
+    """Eq. (4): quality of a reading from ``snapshot`` for ``location``."""
+    if dmax <= 0:
+        raise ValueError("dmax must be positive")
+    distance = snapshot.location.distance_to(location)
+    if distance > dmax:
+        return 0.0
+    return (1.0 - snapshot.inaccuracy) * (1.0 - distance / dmax) * snapshot.trust
+
+
+class _BestSensorState(ValuationState):
+    """O(1) incremental state for max-semantics point queries."""
+
+    def gain(self, snapshot: SensorSnapshot) -> float:
+        return max(0.0, self.query.value_single(snapshot) - self.value)
+
+    def add(self, snapshot: SensorSnapshot) -> float:
+        gain = self.gain(snapshot)
+        self.selected.append(snapshot)
+        self.value += gain
+        return gain
+
+
+class PointQuery(Query):
+    """Single-sensor point query with the eq. (3) valuation.
+
+    Attributes:
+        location: the queried location ``l_q``.
+        theta_min: minimum acceptable quality (paper experiments: 0.2).
+        dmax: maximum distance at which sensors can provide data (paper:
+            5 on RWM, 10 on RNC).
+        parent_id: set when the query was generated on behalf of a
+            continuous query by Algorithm 2/3 — lets the controllers route
+            execution results back.
+    """
+
+    def __init__(
+        self,
+        location: Location,
+        budget: float,
+        theta_min: float = 0.2,
+        dmax: float = 5.0,
+        query_id: str | None = None,
+        issued_at: int = 0,
+        parent_id: str | None = None,
+    ) -> None:
+        super().__init__(budget, query_id, issued_at)
+        if not (0.0 <= theta_min <= 1.0):
+            raise ValueError("theta_min must be in [0, 1]")
+        if dmax <= 0:
+            raise ValueError("dmax must be positive")
+        self.location = location
+        self.theta_min = theta_min
+        self.dmax = dmax
+        self.parent_id = parent_id
+
+    @property
+    def query_type(self) -> QueryType:
+        return QueryType.POINT
+
+    # ------------------------------------------------------------------
+    # valuation
+    # ------------------------------------------------------------------
+    def quality(self, snapshot: SensorSnapshot) -> float:
+        """Eq. (4) quality of ``snapshot`` for this query's location."""
+        return reading_quality(snapshot, self.location, self.dmax)
+
+    def value_single(self, snapshot: SensorSnapshot) -> float:
+        """Eq. (3): the value of one reading."""
+        theta = self.quality(snapshot)
+        if theta < self.theta_min:
+            return 0.0
+        return self.budget * theta
+
+    def value(self, snapshots: Sequence[SensorSnapshot]) -> float:
+        """A single-sensor query uses the best available reading."""
+        if not snapshots:
+            return 0.0
+        return max(self.value_single(s) for s in snapshots)
+
+    def best_sensor(self, snapshots: Sequence[SensorSnapshot]) -> SensorSnapshot | None:
+        """The snapshot achieving :meth:`value`, or None if all worthless."""
+        best, best_value = None, 0.0
+        for snapshot in snapshots:
+            v = self.value_single(snapshot)
+            if v > best_value:
+                best, best_value = snapshot, v
+        return best
+
+    def relevant(self, snapshot: SensorSnapshot) -> bool:
+        return self.value_single(snapshot) > 0.0
+
+    def new_state(self) -> ValuationState:
+        return _BestSensorState(self)
+
+
+class MultiSensorPointQuery(Query):
+    """Point query asking for ``k`` redundant readings (Section 2.2.1).
+
+    Values a set ``S`` as ``B_q * (sum of the k best qualities) / k``: the
+    budget is attained only with k high-quality readings, extra sensors
+    beyond k add nothing, and fewer sensors earn the pro-rated fraction.
+    This is a weighted rank-truncated sum — monotone submodular, which the
+    property tests verify.
+    """
+
+    def __init__(
+        self,
+        location: Location,
+        budget: float,
+        n_readings: int,
+        theta_min: float = 0.2,
+        dmax: float = 5.0,
+        query_id: str | None = None,
+        issued_at: int = 0,
+    ) -> None:
+        super().__init__(budget, query_id, issued_at)
+        if n_readings < 1:
+            raise ValueError("n_readings must be >= 1")
+        if not (0.0 <= theta_min <= 1.0):
+            raise ValueError("theta_min must be in [0, 1]")
+        if dmax <= 0:
+            raise ValueError("dmax must be positive")
+        self.location = location
+        self.n_readings = n_readings
+        self.theta_min = theta_min
+        self.dmax = dmax
+
+    @property
+    def query_type(self) -> QueryType:
+        return QueryType.MULTI_POINT
+
+    def quality(self, snapshot: SensorSnapshot) -> float:
+        theta = reading_quality(snapshot, self.location, self.dmax)
+        return theta if theta >= self.theta_min else 0.0
+
+    def value(self, snapshots: Sequence[SensorSnapshot]) -> float:
+        qualities = sorted((self.quality(s) for s in snapshots), reverse=True)
+        top = qualities[: self.n_readings]
+        return self.budget * sum(top) / self.n_readings
+
+    def relevant(self, snapshot: SensorSnapshot) -> bool:
+        return self.quality(snapshot) > 0.0

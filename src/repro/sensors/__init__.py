@@ -1,0 +1,36 @@
+"""Sensor substrate: entities, cost models, trust, fleet management."""
+
+from .costs import (
+    EnergyCostModel,
+    FixedEnergyCost,
+    LinearEnergyCost,
+    PrivacyCostModel,
+    PrivacySensitivity,
+    privacy_loss,
+    total_cost,
+)
+from .fleet import FleetConfig, SensorFleet
+from .reputation import BetaReputationTracker, ReputationRecord
+from .sensor import Sensor, SensorSnapshot
+from .trust import BetaTrust, FullTrust, TieredTrust, TrustModel, UniformTrust
+
+__all__ = [
+    "Sensor",
+    "SensorSnapshot",
+    "SensorFleet",
+    "FleetConfig",
+    "EnergyCostModel",
+    "FixedEnergyCost",
+    "LinearEnergyCost",
+    "PrivacyCostModel",
+    "PrivacySensitivity",
+    "privacy_loss",
+    "total_cost",
+    "TrustModel",
+    "BetaReputationTracker",
+    "ReputationRecord",
+    "FullTrust",
+    "UniformTrust",
+    "BetaTrust",
+    "TieredTrust",
+]

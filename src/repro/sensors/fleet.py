@@ -1,0 +1,180 @@
+"""The sensor fleet: population + mobility + per-slot announcements.
+
+The fleet is the boundary between the physical world (mobility, batteries,
+privacy histories) and the aggregator.  Each slot it publishes the
+announcements of the sensors that are (a) inside the working region and
+(b) not exhausted; after allocation it books the selected measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..mobility import MobilityModel
+from ..spatial import Region
+from .costs import (
+    FixedEnergyCost,
+    LinearEnergyCost,
+    PrivacyCostModel,
+    PrivacySensitivity,
+)
+from .sensor import Sensor, SensorSnapshot
+from .trust import FullTrust, TrustModel
+
+__all__ = ["SensorFleet", "FleetConfig"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Population-level parameters used to build a fleet (Section 4.1).
+
+    Attributes:
+        base_price: ``C_s`` (paper: 10 for every sensor).
+        inaccuracy_range: per-sensor gamma ~ U[range] (paper: [0, 0.2]).
+        lifetime: max readings per sensor (paper: simulation length, or 25).
+        linear_energy: if True use the linear energy model with per-sensor
+            ``beta ~ U[beta_range]``; otherwise the fixed model.
+        beta_range: support of the beta draw (paper: [0, 4]).
+        random_privacy: if True draw each sensor's privacy sensitivity level
+            uniformly from the five levels; otherwise all Zero.
+        privacy_window: the ``w`` of eq. 14.
+        trust_model: distribution of per-sensor trust (paper default: full).
+    """
+
+    base_price: float = 10.0
+    inaccuracy_range: tuple[float, float] = (0.0, 0.2)
+    lifetime: int = 50
+    linear_energy: bool = False
+    beta_range: tuple[float, float] = (0.0, 4.0)
+    random_privacy: bool = False
+    privacy_window: int = 5
+    trust_model: TrustModel = FullTrust()
+
+    def __post_init__(self) -> None:
+        lo, hi = self.inaccuracy_range
+        if not (0.0 <= lo <= hi <= 1.0):
+            raise ValueError("inaccuracy_range must satisfy 0 <= lo <= hi <= 1")
+        if self.lifetime < 1:
+            raise ValueError("lifetime must be >= 1")
+        b_lo, b_hi = self.beta_range
+        if not (0.0 <= b_lo <= b_hi):
+            raise ValueError("beta_range must satisfy 0 <= lo <= hi")
+
+
+class SensorFleet:
+    """All sensors of a scenario plus the mobility model that moves them."""
+
+    def __init__(
+        self,
+        mobility: MobilityModel,
+        working_region: Region,
+        config: FleetConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        if not mobility.region.contains_region(working_region):
+            raise ValueError("working region must lie inside the mobility region")
+        self._mobility = mobility
+        self._working_region = working_region
+        self._config = config
+        self._clock = 0
+        n = mobility.n_sensors
+        gammas = rng.uniform(*config.inaccuracy_range, size=n)
+        trusts = config.trust_model.sample(n, rng)
+        levels = list(PrivacySensitivity)
+        self._sensors: list[Sensor] = []
+        for i in range(n):
+            if config.linear_energy:
+                beta = float(rng.uniform(*config.beta_range))
+                energy_model = LinearEnergyCost(config.base_price, beta)
+            else:
+                energy_model = FixedEnergyCost(config.base_price)
+            if config.random_privacy:
+                sensitivity = levels[int(rng.integers(0, len(levels)))]
+            else:
+                sensitivity = PrivacySensitivity.ZERO
+            privacy_model = PrivacyCostModel(
+                sensitivity=sensitivity,
+                base_price=config.base_price,
+                window=config.privacy_window,
+            )
+            self._sensors.append(
+                Sensor(
+                    sensor_id=i,
+                    inaccuracy=float(gammas[i]),
+                    trust=float(trusts[i]),
+                    lifetime=config.lifetime,
+                    energy_model=energy_model,
+                    privacy_model=privacy_model,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # read access
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        """Current time slot (starts at 0)."""
+        return self._clock
+
+    @property
+    def working_region(self) -> Region:
+        return self._working_region
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self._sensors)
+
+    @property
+    def sensors(self) -> Sequence[Sensor]:
+        return self._sensors
+
+    def sensor(self, sensor_id: int) -> Sensor:
+        return self._sensors[sensor_id]
+
+    # ------------------------------------------------------------------
+    # the slot protocol
+    # ------------------------------------------------------------------
+    def announcements(self) -> list[SensorSnapshot]:
+        """Snapshots of usable sensors currently in the working region.
+
+        "At the beginning of each time slot [sensors] announce their
+        location and price of providing a measurement at that location"
+        (Section 2.1).  Exhausted sensors stay silent (Section 4.1's
+        lifetime rule).
+        """
+        snapshots = []
+        locations = self._mobility.locations()
+        for sensor, location in zip(self._sensors, locations):
+            if sensor.is_exhausted:
+                continue
+            if not self._working_region.contains(location):
+                continue
+            snapshots.append(sensor.snapshot(location, self._clock))
+        return snapshots
+
+    def record_measurements(self, sensor_ids: Sequence[int]) -> None:
+        """Book one reading for each selected sensor at the current slot."""
+        for sensor_id in set(sensor_ids):
+            self._sensors[sensor_id].record_measurement(self._clock)
+
+    def advance(self) -> None:
+        """End the slot: move every sensor and tick the clock."""
+        self._mobility.advance()
+        self._clock += 1
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def exhausted_count(self) -> int:
+        return sum(1 for s in self._sensors if s.is_exhausted)
+
+    def total_readings(self) -> int:
+        return sum(s.readings_taken for s in self._sensors)
+
+    def apply(self, fn: Callable[[Sensor], None]) -> None:
+        """Run ``fn`` on every sensor (testing/instrumentation hook)."""
+        for sensor in self._sensors:
+            fn(sensor)

@@ -1,0 +1,109 @@
+"""Online trust assessment — the mechanism the paper assumes exists.
+
+Section 4.1: "Since the trust or reputation assessment of sensors is not
+the focus of this work, we assume that there is a trust assessment
+mechanism in place which assigns trustworthiness values to the sensors upon
+initialization."  This module supplies such a mechanism so deployments (and
+our extension benches) do not have to assume oracle trust values:
+
+:class:`BetaReputationTracker` maintains the classic Beta-reputation
+posterior per sensor.  Each delivered reading is scored against a reference
+(redundant co-located readings or ground truth where available); agreements
+accumulate as ``alpha`` pseudo-counts, disagreements as ``beta``, and the
+published trust is the posterior mean ``alpha / (alpha + beta)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BetaReputationTracker", "ReputationRecord"]
+
+
+@dataclass
+class ReputationRecord:
+    """Beta-posterior state of one sensor."""
+
+    alpha: float = 1.0  # prior pseudo-count of agreements
+    beta: float = 1.0  # prior pseudo-count of disagreements
+
+    @property
+    def trust(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def observations(self) -> float:
+        return self.alpha + self.beta - 2.0
+
+
+@dataclass
+class BetaReputationTracker:
+    """Per-sensor Beta reputation with exponential forgetting.
+
+    Args:
+        prior_alpha / prior_beta: initial pseudo-counts; (1, 1) is the
+            uniform prior (trust 0.5), (9, 1) starts sensors off trusted.
+        tolerance: absolute deviation from the reference below which a
+            reading counts as an agreement.
+        forgetting: per-update decay applied to both counts, so stale
+            behaviour washes out and a compromised sensor loses trust
+            quickly (1.0 = never forget).
+    """
+
+    prior_alpha: float = 1.0
+    prior_beta: float = 1.0
+    tolerance: float = 1.0
+    forgetting: float = 0.98
+    records: dict[int, ReputationRecord] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.prior_alpha <= 0 or self.prior_beta <= 0:
+            raise ValueError("priors must be positive")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if not (0.0 < self.forgetting <= 1.0):
+            raise ValueError("forgetting must be in (0, 1]")
+
+    def record_of(self, sensor_id: int) -> ReputationRecord:
+        if sensor_id not in self.records:
+            self.records[sensor_id] = ReputationRecord(self.prior_alpha, self.prior_beta)
+        return self.records[sensor_id]
+
+    def trust_of(self, sensor_id: int) -> float:
+        """Current published trust (posterior mean)."""
+        return self.record_of(sensor_id).trust
+
+    def observe(self, sensor_id: int, reading: float, reference: float) -> float:
+        """Score one reading against a reference value; returns new trust."""
+        record = self.record_of(sensor_id)
+        record.alpha *= self.forgetting
+        record.beta *= self.forgetting
+        if abs(reading - reference) <= self.tolerance:
+            record.alpha += 1.0
+        else:
+            record.beta += 1.0
+        return record.trust
+
+    def observe_redundant(self, readings: dict[int, float]) -> dict[int, float]:
+        """Score a co-located redundant batch against its own median.
+
+        This is how a PS aggregator assesses trust without ground truth:
+        redundant measurements of the same phenomenon vouch for (or against)
+        each other.  Needs at least three readings; returns updated trusts.
+        """
+        if len(readings) < 3:
+            raise ValueError("redundant scoring needs at least 3 readings")
+        values = sorted(readings.values())
+        mid = len(values) // 2
+        if len(values) % 2:
+            median = values[mid]
+        else:
+            median = 0.5 * (values[mid - 1] + values[mid])
+        return {
+            sensor_id: self.observe(sensor_id, reading, median)
+            for sensor_id, reading in readings.items()
+        }
+
+    def snapshot(self) -> dict[int, float]:
+        """Current trust of every tracked sensor."""
+        return {sid: record.trust for sid, record in self.records.items()}

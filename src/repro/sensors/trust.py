@@ -1,0 +1,91 @@
+"""Trust assignment for sensors.
+
+The paper assumes "a trust assessment mechanism in place which assigns
+trustworthiness values to the sensors upon initialization" (Section 4.1) and
+keeps trust fixed over a simulation.  This module is that mechanism's stand-
+in: pluggable distributions that draw per-sensor trust values, including the
+sweeps behind the Section 4.7 observation that "the more trustworthy the
+sensors are, the more utility they bring".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+__all__ = [
+    "TrustModel",
+    "FullTrust",
+    "UniformTrust",
+    "BetaTrust",
+    "TieredTrust",
+]
+
+
+class TrustModel(Protocol):
+    """Draws trust values in ``[0, 1]`` for a population of sensors."""
+
+    def sample(self, n_sensors: int, rng: np.random.Generator) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class FullTrust:
+    """Every sensor fully trusted (tau = 1) — the paper's default."""
+
+    def sample(self, n_sensors: int, rng: np.random.Generator) -> np.ndarray:
+        return np.ones(n_sensors)
+
+
+@dataclass(frozen=True)
+class UniformTrust:
+    """Trust ~ U[low, high]."""
+
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.low <= self.high <= 1.0):
+            raise ValueError("need 0 <= low <= high <= 1")
+
+    def sample(self, n_sensors: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n_sensors)
+
+
+@dataclass(frozen=True)
+class BetaTrust:
+    """Trust ~ Beta(a, b) — lets experiments skew towards (un)trustworthy."""
+
+    a: float = 5.0
+    b: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.b <= 0:
+            raise ValueError("beta shape parameters must be positive")
+
+    def sample(self, n_sensors: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.beta(self.a, self.b, size=n_sensors)
+
+
+@dataclass(frozen=True)
+class TieredTrust:
+    """A discrete mixture, e.g. 70% trusted (1.0), 20% medium, 10% poor.
+
+    ``levels`` are the trust values, ``weights`` their probabilities.
+    """
+
+    levels: tuple[float, ...] = (1.0, 0.6, 0.2)
+    weights: tuple[float, ...] = (0.7, 0.2, 0.1)
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != len(self.weights) or not self.levels:
+            raise ValueError("levels and weights must be equal-length and non-empty")
+        if any(not (0.0 <= lv <= 1.0) for lv in self.levels):
+            raise ValueError("trust levels must lie in [0, 1]")
+        if any(w < 0 for w in self.weights) or abs(sum(self.weights) - 1.0) > 1e-9:
+            raise ValueError("weights must be non-negative and sum to 1")
+
+    def sample(self, n_sensors: int, rng: np.random.Generator) -> np.ndarray:
+        choices = rng.choice(len(self.levels), size=n_sensors, p=self.weights)
+        return np.asarray(self.levels, dtype=float)[choices]

@@ -1,0 +1,24 @@
+"""Spatial substrate: locations, regions, grids, trajectories, coverage."""
+
+from .geometry import Location, centroid, euclidean, manhattan, nearest, pairwise_distances
+from .grid import Grid, GridIndex
+from .region import Region
+from .trajectory import Trajectory
+from .coverage import AreaCoverage, CoverageFunction, TrajectoryCoverage, WeightedCoverage
+
+__all__ = [
+    "Location",
+    "Region",
+    "Grid",
+    "GridIndex",
+    "Trajectory",
+    "AreaCoverage",
+    "WeightedCoverage",
+    "TrajectoryCoverage",
+    "CoverageFunction",
+    "euclidean",
+    "manhattan",
+    "pairwise_distances",
+    "nearest",
+    "centroid",
+]

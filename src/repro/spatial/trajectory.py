@@ -1,0 +1,114 @@
+"""Trajectories: polylines through the sensing plane.
+
+Queries over trajectories (Section 2.2.3) ask for an aggregate of a
+phenomenon along a path, e.g. "max CO2 on my commute".  The paper treats
+them as spatial aggregate queries whose region of interest is the corridor
+around the path; :meth:`Trajectory.sample_points` and
+:meth:`Trajectory.distance_to` provide the geometry for that reduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .geometry import Location
+from .region import Region
+
+__all__ = ["Trajectory"]
+
+
+def _point_segment_distance(p: Location, a: Location, b: Location) -> float:
+    """Distance from point ``p`` to the closed segment ``a``-``b``."""
+    ax, ay, bx, by = a.x, a.y, b.x, b.y
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return p.distance_to(a)
+    t = ((p.x - ax) * dx + (p.y - ay) * dy) / seg_len_sq
+    t = min(max(t, 0.0), 1.0)
+    return math.hypot(p.x - (ax + t * dx), p.y - (ay + t * dy))
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """An ordered polyline of at least two waypoints."""
+
+    waypoints: tuple[Location, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("a trajectory needs at least two waypoints")
+
+    @classmethod
+    def from_points(cls, points: Sequence[Location]) -> "Trajectory":
+        return cls(tuple(points))
+
+    @classmethod
+    def random(
+        cls,
+        region: Region,
+        rng: np.random.Generator,
+        n_waypoints: int = 4,
+    ) -> "Trajectory":
+        """Random polyline inside ``region`` (workload generation)."""
+        if n_waypoints < 2:
+            raise ValueError("n_waypoints must be >= 2")
+        return cls(tuple(region.sample_locations(n_waypoints, rng)))
+
+    @property
+    def length(self) -> float:
+        """Total polyline length."""
+        return sum(
+            self.waypoints[i].distance_to(self.waypoints[i + 1])
+            for i in range(len(self.waypoints) - 1)
+        )
+
+    def distance_to(self, point: Location) -> float:
+        """Distance from ``point`` to the nearest point of the polyline."""
+        return min(
+            _point_segment_distance(point, self.waypoints[i], self.waypoints[i + 1])
+            for i in range(len(self.waypoints) - 1)
+        )
+
+    def covers(self, point: Location, corridor: float) -> bool:
+        """Whether ``point`` lies in the corridor of half-width ``corridor``."""
+        return self.distance_to(point) <= corridor
+
+    def sample_points(self, spacing: float) -> list[Location]:
+        """Points spaced ``spacing`` apart along the polyline (inclusive ends).
+
+        These act as the "cells of interest" when a trajectory query is
+        reduced to a spatial aggregate query: the coverage function counts
+        how many of these points are within sensing range of a selected
+        sensor.
+        """
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        points: list[Location] = [self.waypoints[0]]
+        carried = 0.0
+        for i in range(len(self.waypoints) - 1):
+            a, b = self.waypoints[i], self.waypoints[i + 1]
+            seg_len = a.distance_to(b)
+            if seg_len == 0.0:
+                continue
+            ux, uy = (b.x - a.x) / seg_len, (b.y - a.y) / seg_len
+            pos = spacing - carried
+            while pos <= seg_len:
+                points.append(Location(a.x + ux * pos, a.y + uy * pos))
+                pos += spacing
+            carried = seg_len - (pos - spacing)
+        if points[-1] != self.waypoints[-1]:
+            points.append(self.waypoints[-1])
+        return points
+
+    def bounding_region(self, margin: float = 0.0) -> Region:
+        """Axis-aligned bounding box, padded by ``margin`` on every side."""
+        xs = [w.x for w in self.waypoints]
+        ys = [w.y for w in self.waypoints]
+        return Region(
+            min(xs) - margin, min(ys) - margin, max(xs) + margin, max(ys) + margin
+        )

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import CI
+from repro.experiments.reporting import ascii_chart
+from repro.experiments.runner import FigureResult
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.command == "figures"
+        assert args.figure is None
+        assert not args.all
+
+    def test_figures_repeatable(self):
+        args = build_parser().parse_args(
+            ["figures", "--figure", "fig2", "--figure", "fig3"]
+        )
+        assert args.figure == ["fig2", "fig3"]
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--scale", "giant"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "repro" in out
+
+    def test_unknown_figure_exits_2(self, capsys):
+        assert main(["figures", "--figure", "fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_figures_runs_and_dumps_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        # Shrink further via a micro scale injected through the registry.
+        import repro.cli as cli_module
+        from repro.experiments import fig2
+
+        micro = dataclasses.replace(
+            CI, n_slots=2, point_queries_per_slot=20, rwm_sensors=30, budgets=(7, 35)
+        )
+        monkeypatch.setattr(
+            cli_module, "ALL_FIGURES", {"fig2": lambda scale, seed: fig2(micro, seed)}
+        )
+        code = main(["figures", "--figure", "fig2", "--out", str(tmp_path), "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg_utility" in out
+        payload = json.loads((tmp_path / "fig2_ci.json").read_text())
+        assert payload["figure_id"] == "fig2"
+        assert "Optimal" in payload["series"]
+
+
+class TestAsciiChart:
+    def _result(self):
+        result = FigureResult("figX", "demo", "budget", x_values=[1, 2, 3])
+        for v in (1.0, 2.0, 3.0):
+            result.add("A", "m", v)
+        for v in (3.0, 2.0, 1.0):
+            result.add("B", "m", v)
+        return result
+
+    def test_chart_contains_symbols_and_ranges(self):
+        chart = ascii_chart(self._result(), "m", width=20, height=6)
+        assert "o=A" in chart and "x=B" in chart
+        assert "y: 1 .. 3" in chart
+        assert "x: 1 .. 3" in chart
+
+    def test_chart_missing_metric(self):
+        assert "no series" in ascii_chart(self._result(), "missing")
+
+    def test_chart_flat_series(self):
+        result = FigureResult("f", "t", "x", x_values=[1])
+        result.add("A", "m", 5.0)
+        chart = ascii_chart(result, "m")
+        assert "o=A" in chart

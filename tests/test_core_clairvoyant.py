@@ -1,0 +1,108 @@
+"""Tests for the eq. 1 clairvoyant reference solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OptimalPointAllocator,
+    simulate_myopic_gap,
+    solve_clairvoyant,
+)
+from repro.queries import PointQuery
+from repro.sensors import (
+    FixedEnergyCost,
+    PrivacyCostModel,
+    PrivacySensitivity,
+    Sensor,
+)
+from repro.spatial import Location
+
+
+def tiny_world(
+    n_slots=3,
+    n_sensors=3,
+    lifetime=10,
+    privacy=PrivacySensitivity.ZERO,
+    seed=0,
+):
+    rng = np.random.default_rng(seed)
+    sensors = [
+        Sensor(
+            i,
+            inaccuracy=0.0,
+            trust=1.0,
+            lifetime=lifetime,
+            energy_model=FixedEnergyCost(10.0),
+            privacy_model=PrivacyCostModel(privacy, base_price=10.0, window=3),
+        )
+        for i in range(n_sensors)
+    ]
+    positions, queries = [], []
+    for t in range(n_slots):
+        positions.append([Location(float(rng.uniform(0, 10)), 0.0) for _ in sensors])
+        queries.append(
+            [
+                PointQuery(
+                    Location(float(rng.uniform(0, 10)), 0.0),
+                    budget=float(rng.uniform(15, 30)),
+                    theta_min=0.0,
+                    dmax=6.0,
+                )
+                for _ in range(3)
+            ]
+        )
+    return queries, positions, sensors
+
+
+class TestClairvoyant:
+    def test_guard_limits(self):
+        queries, positions, sensors = tiny_world(n_sensors=3)
+        with pytest.raises(ValueError):
+            solve_clairvoyant(queries, positions, sensors, max_sensors=2)
+        with pytest.raises(ValueError):
+            solve_clairvoyant(queries, positions, sensors, max_slots=2)
+
+    def test_misaligned_slots_rejected(self):
+        queries, positions, sensors = tiny_world()
+        with pytest.raises(ValueError):
+            solve_clairvoyant(queries[:-1], positions, sensors)
+
+    def test_plan_covers_all_slots(self):
+        queries, positions, sensors = tiny_world()
+        plan = solve_clairvoyant(queries, positions, sensors)
+        assert len(plan.per_slot_selected) == len(queries)
+        assert plan.total_utility >= 0.0
+
+    def test_without_coupling_matches_per_slot_optimum(self):
+        """With ample lifetime and zero privacy, eq. 1 decomposes into
+        independent slots, so the clairvoyant total equals the sum of
+        per-slot BILP optima."""
+        queries, positions, sensors = tiny_world(lifetime=50)
+        myopic, clairvoyant = simulate_myopic_gap(
+            queries, positions, sensors, OptimalPointAllocator()
+        )
+        assert myopic == pytest.approx(clairvoyant, abs=1e-6)
+
+    def test_myopic_never_beats_clairvoyant(self):
+        for seed in range(5):
+            queries, positions, sensors = tiny_world(
+                lifetime=1, privacy=PrivacySensitivity.HIGH, seed=seed
+            )
+            myopic, clairvoyant = simulate_myopic_gap(
+                queries, positions, sensors, OptimalPointAllocator()
+            )
+            assert myopic <= clairvoyant + 1e-6
+
+    def test_lifetime_coupling_creates_gap(self):
+        """With lifetime 1, spending a sensor early can forfeit a better
+        future use; a myopic gap must exist on at least one seed."""
+        gaps = []
+        for seed in range(8):
+            queries, positions, sensors = tiny_world(lifetime=1, seed=seed)
+            myopic, clairvoyant = simulate_myopic_gap(
+                queries, positions, sensors, OptimalPointAllocator()
+            )
+            gaps.append(clairvoyant - myopic)
+        assert max(gaps) > 1e-9

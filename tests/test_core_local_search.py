@@ -1,0 +1,96 @@
+"""Tests for the Feige et al. local search (Section 3.1.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_point_query, make_snapshot, random_instance
+from repro.core import (
+    LocalSearchPointAllocator,
+    OptimalPointAllocator,
+    RandomizedLocalSearchAllocator,
+    exhaustive_point_search,
+)
+from repro.core.point_problem import PointProblem
+
+
+class TestLocalSearch:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_achieves_third_of_optimum(self, seed):
+        """[3]: deterministic local search is a (1/3 - eps)-approximation."""
+        queries, sensors = random_instance(seed, n_sensors=8, n_queries=10)
+        ls = LocalSearchPointAllocator().allocate(queries, sensors)
+        _, best = exhaustive_point_search(queries, sensors)
+        assert ls.total_utility >= best / 3.0 - 1e-9
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_never_beats_optimum(self, seed):
+        queries, sensors = random_instance(seed, n_sensors=8, n_queries=10)
+        ls = LocalSearchPointAllocator().allocate(queries, sensors)
+        opt = OptimalPointAllocator().allocate(queries, sensors)
+        assert ls.total_utility <= opt.total_utility + 1e-9
+
+    def test_close_to_optimal_at_scale(self):
+        """The paper observes LS 'finds solutions close to the optimal'."""
+        queries, sensors = random_instance(99, n_sensors=40, n_queries=80, side=30.0)
+        ls = LocalSearchPointAllocator().allocate(queries, sensors)
+        opt = OptimalPointAllocator().allocate(queries, sensors)
+        assert ls.total_utility >= 0.9 * opt.total_utility
+
+    def test_empty_inputs(self):
+        assert LocalSearchPointAllocator().allocate([], []).total_utility == 0.0
+
+    def test_no_positive_singleton_returns_empty(self):
+        queries = [make_point_query(x=0, y=0, budget=5.0, theta_min=0.0)]
+        sensors = [make_snapshot(0, x=0, y=0, cost=100.0)]
+        result = LocalSearchPointAllocator().allocate(queries, [sensors[0]])
+        assert result.answered_count() == 0
+
+    def test_useless_members_dropped(self):
+        """Post-processing drops selected sensors that win no location."""
+        queries, sensors = random_instance(5, n_sensors=10, n_queries=12)
+        allocator = LocalSearchPointAllocator()
+        problem = PointProblem.build(queries, sensors)
+        mask = allocator.search(problem)
+        winners = problem.assign_winners(mask)
+        assert set(np.flatnonzero(mask)) == set(winners.values())
+
+    def test_invariants(self):
+        queries, sensors = random_instance(7, n_sensors=12, n_queries=20)
+        LocalSearchPointAllocator().allocate(queries, sensors).verify()
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            LocalSearchPointAllocator(epsilon=0.0)
+
+    def test_deterministic(self):
+        queries, sensors = random_instance(11, n_sensors=10, n_queries=15)
+        a = LocalSearchPointAllocator().allocate(queries, sensors)
+        b = LocalSearchPointAllocator().allocate(queries, sensors)
+        assert a.total_utility == b.total_utility
+        assert a.assignments == b.assignments
+
+
+class TestRandomizedLocalSearch:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_at_least_as_good_as_deterministic(self, seed):
+        queries, sensors = random_instance(seed, n_sensors=8, n_queries=10)
+        det = LocalSearchPointAllocator().allocate(queries, sensors)
+        rand = RandomizedLocalSearchAllocator(n_restarts=3, seed=0).allocate(
+            queries, sensors
+        )
+        assert rand.total_utility >= det.total_utility - 1e-9
+
+    def test_restores_problem_values(self):
+        queries, sensors = random_instance(3)
+        problem = PointProblem.build(queries, sensors)
+        original = problem.values.copy()
+        RandomizedLocalSearchAllocator(n_restarts=2, seed=1).search(problem)
+        assert np.array_equal(problem.values, original)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomizedLocalSearchAllocator(n_restarts=0)
+        with pytest.raises(ValueError):
+            RandomizedLocalSearchAllocator(noise_scale=-0.1)

@@ -1,0 +1,171 @@
+"""Tests for the BILP optimal point allocator (Section 3.1.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_point_query, make_snapshot, random_instance
+from repro.core import (
+    AllocationError,
+    OptimalPointAllocator,
+    exhaustive_point_search,
+)
+from repro.core.point_problem import PointProblem
+from repro.queries import SpatialAggregateQuery
+from repro.spatial import Region
+
+
+class TestPointProblem:
+    def test_groups_by_location(self):
+        queries = [
+            make_point_query(x=1, y=1, query_id="a"),
+            make_point_query(x=1, y=1, query_id="b"),
+            make_point_query(x=5, y=5, query_id="c"),
+        ]
+        sensors = [make_snapshot(0, x=1, y=2)]
+        problem = PointProblem.build(queries, sensors)
+        assert problem.n_locations == 2
+        assert problem.values.shape == (2, 1)
+
+    def test_location_value_sums_queries(self):
+        queries = [
+            make_point_query(x=0, y=0, budget=10.0, query_id="a"),
+            make_point_query(x=0, y=0, budget=20.0, query_id="b"),
+        ]
+        sensor = make_snapshot(0, x=1, y=0)
+        problem = PointProblem.build(queries, sensors=[sensor])
+        expected = queries[0].value_single(sensor) + queries[1].value_single(sensor)
+        row = 0
+        assert problem.values[row, 0] == pytest.approx(expected)
+
+    def test_rejects_non_point_queries(self):
+        agg = SpatialAggregateQuery(Region.from_origin(5, 5), budget=10.0)
+        with pytest.raises(AllocationError):
+            PointProblem.build([agg], [])
+
+    def test_utility_matches_eq12(self):
+        queries, sensors = random_instance(0)
+        problem = PointProblem.build(queries, sensors)
+        mask = np.zeros(problem.n_sensors, dtype=bool)
+        mask[:3] = True
+        by_hand = (
+            np.maximum(problem.values[:, :3].max(axis=1), 0.0).sum()
+            - problem.costs[:3].sum()
+        )
+        assert problem.utility(mask) == pytest.approx(by_hand)
+
+    def test_utility_of_empty_set(self):
+        queries, sensors = random_instance(1)
+        problem = PointProblem.build(queries, sensors)
+        assert problem.utility(np.zeros(problem.n_sensors, dtype=bool)) == 0.0
+
+    def test_settle_recovers_costs_exactly(self):
+        queries, sensors = random_instance(2)
+        problem = PointProblem.build(queries, sensors)
+        mask = np.ones(problem.n_sensors, dtype=bool)
+        winners = problem.assign_winners(mask)
+        result = problem.settle(winners)
+        for sid in result.selected:
+            assert result.sensor_income(sid) == pytest.approx(
+                result.selected[sid].cost
+            )
+
+
+class TestOptimalAllocator:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_exhaustive_optimum(self, seed):
+        queries, sensors = random_instance(seed, n_sensors=7, n_queries=9)
+        milp_result = OptimalPointAllocator().allocate(queries, sensors)
+        _, best_utility = exhaustive_point_search(queries, sensors)
+        assert milp_result.total_utility == pytest.approx(best_utility, abs=1e-6)
+
+    def test_empty_inputs(self):
+        assert OptimalPointAllocator().allocate([], []).total_utility == 0.0
+        queries, sensors = random_instance(0)
+        assert OptimalPointAllocator().allocate([], sensors).total_utility == 0.0
+        assert OptimalPointAllocator().allocate(queries, []).total_utility == 0.0
+
+    def test_no_feasible_pairs(self):
+        queries = [make_point_query(x=0, y=0, dmax=1.0)]
+        sensors = [make_snapshot(0, x=50, y=50)]
+        result = OptimalPointAllocator().allocate(queries, sensors)
+        assert result.answered_count() == 0
+
+    def test_sharing_beats_separate_purchase(self):
+        """Two co-located queries can jointly afford a sensor neither can
+        alone — the core sharing effect of the BILP."""
+        queries = [
+            make_point_query(x=0, y=0, budget=7.0, query_id="a", theta_min=0.0),
+            make_point_query(x=0, y=0, budget=7.0, query_id="b", theta_min=0.0),
+        ]
+        sensor = make_snapshot(0, x=0, y=0, cost=10.0)
+        result = OptimalPointAllocator().allocate(queries, [sensor])
+        assert result.answered_count() == 2
+        assert result.total_utility == pytest.approx(4.0)
+        assert result.query_payment("a") == pytest.approx(5.0)
+
+    def test_unaffordable_sensor_not_selected(self):
+        queries = [make_point_query(x=0, y=0, budget=7.0, theta_min=0.0)]
+        sensor = make_snapshot(0, x=0, y=0, cost=10.0)
+        result = OptimalPointAllocator().allocate(queries, [sensor])
+        assert result.answered_count() == 0
+        assert result.total_cost == 0.0
+
+    def test_one_sensor_can_serve_multiple_locations(self):
+        queries = [
+            make_point_query(x=0, y=0, budget=20.0, query_id="a", theta_min=0.0),
+            make_point_query(x=1, y=0, budget=20.0, query_id="b", theta_min=0.0),
+        ]
+        sensor = make_snapshot(0, x=0.5, y=0, cost=10.0)
+        result = OptimalPointAllocator().allocate(queries, [sensor])
+        assert result.answered_count() == 2
+        assert result.total_cost == pytest.approx(10.0)
+
+    def test_at_most_one_sensor_per_location(self):
+        queries = [make_point_query(x=0, y=0, budget=30.0, theta_min=0.0)]
+        sensors = [
+            make_snapshot(0, x=0.5, y=0, cost=1.0),
+            make_snapshot(1, x=0, y=0.5, cost=1.0),
+        ]
+        result = OptimalPointAllocator().allocate(queries, sensors)
+        assert len(result.selected) == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_invariants_on_random_instances(self, seed):
+        queries, sensors = random_instance(seed, n_sensors=12, n_queries=20)
+        result = OptimalPointAllocator().allocate(queries, sensors)
+        result.verify()  # raises on violation
+
+    def test_payment_never_exceeds_value(self):
+        queries, sensors = random_instance(3, n_sensors=10, n_queries=15)
+        result = OptimalPointAllocator().allocate(queries, sensors)
+        for qid in result.values:
+            assert result.query_payment(qid) <= result.values[qid] + 1e-9
+
+
+class TestDenseFormulation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dense_matches_sparse_optimum(self, seed):
+        """Eq. 10's -1 entries and variable pruning are equivalent."""
+        queries, sensors = random_instance(seed, n_sensors=6, n_queries=8)
+        sparse = OptimalPointAllocator(sparse=True).allocate(queries, sensors)
+        dense = OptimalPointAllocator(sparse=False).allocate(queries, sensors)
+        assert dense.total_utility == pytest.approx(sparse.total_utility, abs=1e-6)
+
+    def test_dense_invariants(self):
+        queries, sensors = random_instance(3, n_sensors=6, n_queries=8)
+        OptimalPointAllocator(sparse=False).allocate(queries, sensors).verify()
+
+
+class TestExhaustiveSearch:
+    def test_too_many_sensors_rejected(self):
+        queries, sensors = random_instance(0, n_sensors=25)
+        with pytest.raises(ValueError):
+            exhaustive_point_search(queries, sensors)
+
+    def test_empty_is_zero(self):
+        queries, _ = random_instance(0)
+        result, utility = exhaustive_point_search(queries, [])
+        assert utility == 0.0
+        assert result.total_utility == 0.0

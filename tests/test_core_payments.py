@@ -1,0 +1,105 @@
+"""Tests for proportionate cost allocation (eq. 11) and contributions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import proportionate_shares, redistribute_contribution
+
+value_maps = st.dictionaries(
+    st.text(min_size=1, max_size=4),
+    st.floats(0.01, 100.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestProportionateShares:
+    def test_single_beneficiary_pays_everything(self):
+        assert proportionate_shares({"q": 5.0}, 10.0) == {"q": 10.0}
+
+    def test_split_is_proportional(self):
+        shares = proportionate_shares({"a": 30.0, "b": 10.0}, 8.0)
+        assert shares["a"] == pytest.approx(6.0)
+        assert shares["b"] == pytest.approx(2.0)
+
+    def test_empty_beneficiaries(self):
+        assert proportionate_shares({}, 10.0) == {}
+
+    def test_zero_cost(self):
+        shares = proportionate_shares({"a": 1.0, "b": 1.0}, 0.0)
+        assert shares == {"a": 0.0, "b": 0.0}
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            proportionate_shares({"a": 1.0}, -1.0)
+
+    def test_non_positive_value_rejected(self):
+        with pytest.raises(ValueError):
+            proportionate_shares({"a": 0.0}, 1.0)
+
+    @given(value_maps, st.floats(0, 50))
+    @settings(max_examples=60)
+    def test_shares_sum_to_cost(self, values, cost):
+        shares = proportionate_shares(values, cost)
+        assert sum(shares.values()) == pytest.approx(cost, abs=1e-9)
+
+    @given(value_maps, st.floats(0, 50))
+    @settings(max_examples=60)
+    def test_share_order_follows_value_order(self, values, cost):
+        shares = proportionate_shares(values, cost)
+        ordered = sorted(values, key=values.get)
+        share_values = [shares[k] for k in ordered]
+        assert share_values == sorted(share_values)
+
+    @given(value_maps)
+    @settings(max_examples=60)
+    def test_individual_utility_nonnegative_when_cost_below_total(self, values):
+        """Theorem 1 property 3: when a sensor is selected because its total
+        value exceeds its cost, every share is below the query's value."""
+        total = sum(values.values())
+        shares = proportionate_shares(values, total * 0.99)
+        for qid, share in shares.items():
+            assert share <= values[qid] + 1e-9
+
+
+class TestRedistributeContribution:
+    def test_partial_contribution_scales_payers(self):
+        adjusted, applied = redistribute_contribution({"a": 6.0, "b": 4.0}, 5.0)
+        assert applied == pytest.approx(5.0)
+        assert adjusted["a"] == pytest.approx(3.0)
+        assert adjusted["b"] == pytest.approx(2.0)
+
+    def test_contribution_clamped_to_total(self):
+        adjusted, applied = redistribute_contribution({"a": 3.0}, 10.0)
+        assert applied == pytest.approx(3.0)
+        assert adjusted["a"] == pytest.approx(0.0)
+
+    def test_zero_contribution(self):
+        adjusted, applied = redistribute_contribution({"a": 3.0}, 0.0)
+        assert applied == 0.0
+        assert adjusted == {"a": 3.0}
+
+    def test_negative_contribution_rejected(self):
+        with pytest.raises(ValueError):
+            redistribute_contribution({"a": 1.0}, -1.0)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=3),
+            st.floats(0.01, 20.0),
+            min_size=1,
+            max_size=5,
+        ),
+        st.floats(0, 40),
+    )
+    @settings(max_examples=60)
+    def test_total_conserved(self, payments, contribution):
+        """Sensor income is conserved: reduced payments + applied
+        contribution always equals the original total."""
+        adjusted, applied = redistribute_contribution(payments, contribution)
+        before = sum(payments.values())
+        after = sum(adjusted.values()) + applied
+        assert after == pytest.approx(before, abs=1e-9)

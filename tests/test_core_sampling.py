@@ -1,0 +1,121 @@
+"""Tests for Algorithm 4 (sampling-point selection) and eq. 18 weighting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_snapshot
+from repro.core import paper_weight_function, plan_sampling
+from repro.phenomena import GaussianProcessField, RBFKernel
+from repro.queries import RegionMonitoringQuery
+from repro.spatial import Region
+
+GP = GaussianProcessField(RBFKernel(1.0, 2.0), noise=0.2)
+
+
+def rm_query(t1=0, duration=10, budget=60.0) -> RegionMonitoringQuery:
+    return RegionMonitoringQuery(Region(0, 0, 10, 8), t1, t1 + duration - 1, budget, GP)
+
+
+def region_snapshots(n=6, seed=0, cost=10.0):
+    rng = np.random.default_rng(seed)
+    return [
+        make_snapshot(i, x=float(rng.uniform(0, 10)), y=float(rng.uniform(0, 8)), cost=cost)
+        for i in range(n)
+    ]
+
+
+class TestWeightFunction:
+    def test_eq18_values(self):
+        assert paper_weight_function(0) == 1.0
+        assert paper_weight_function(1) == 1.0
+        assert paper_weight_function(2) == pytest.approx(0.9)
+        assert paper_weight_function(9) == pytest.approx(0.2)
+        assert paper_weight_function(10) == pytest.approx(0.1)
+        assert paper_weight_function(50) == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        values = [paper_weight_function(k) for k in range(15)]
+        assert values == sorted(values, reverse=True)
+
+    def test_in_unit_interval(self):
+        assert all(0.0 < paper_weight_function(k) <= 1.0 for k in range(30))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            paper_weight_function(-1)
+
+
+class TestPlanSampling:
+    def test_empty_sensors(self):
+        plan = plan_sampling(rm_query(), [], t_now=0)
+        assert plan.is_empty
+        assert plan.expected_cost == 0.0
+
+    def test_zero_budget_blocks(self):
+        query = rm_query(budget=0.0)
+        plan = plan_sampling(query, region_snapshots(), t_now=0)
+        assert plan.is_empty
+
+    def test_inactive_slot_rejected(self):
+        with pytest.raises(ValueError):
+            plan_sampling(rm_query(t1=5), region_snapshots(), t_now=0)
+
+    def test_budget_gates_weighted_spending(self):
+        query = rm_query(budget=25.0)
+        snaps = region_snapshots(n=8)
+        plan = plan_sampling(query, snaps, t_now=0)
+        # While C < B: at most one addition may overshoot, so total planned
+        # weighted cost < B + max cost.
+        total_planned = len(plan.current) + sum(len(v) for v in plan.future.values())
+        assert total_planned <= int(25.0 / 10.0) + 1
+
+    def test_current_slot_prioritized(self):
+        """The time factor makes the current slot win ties: with a fresh
+        query and ample budget, the current slot must receive sensors."""
+        query = rm_query(budget=200.0)
+        plan = plan_sampling(query, region_snapshots(), t_now=0)
+        assert len(plan.current) >= 1
+
+    def test_marginals_and_planned_value_consistent(self):
+        query = rm_query(budget=100.0)
+        plan = plan_sampling(query, region_snapshots(), t_now=0)
+        assert plan.planned_value == pytest.approx(query.slot_value(plan.current))
+        for sid, marginal in plan.marginal_values.items():
+            assert marginal >= 0.0
+        assert set(plan.marginal_values) == {s.sensor_id for s in plan.current}
+
+    def test_expected_cost_uses_actual_prices(self):
+        query = rm_query(budget=100.0)
+        snaps = region_snapshots(cost=7.0)
+        plan = plan_sampling(query, snaps, t_now=0)
+        assert plan.expected_cost == pytest.approx(7.0 * len(plan.current))
+
+    def test_weighted_costs_stretch_budget(self):
+        query_full = rm_query(budget=30.0)
+        query_cheap = rm_query(budget=30.0)
+        snaps = region_snapshots(n=8)
+        full = plan_sampling(query_full, snaps, t_now=0)
+        discounted = plan_sampling(
+            query_cheap,
+            snaps,
+            t_now=0,
+            weighted_costs={s.sensor_id: s.cost * 0.1 for s in snaps},
+        )
+        full_total = len(full.current) + sum(len(v) for v in full.future.values())
+        cheap_total = len(discounted.current) + sum(len(v) for v in discounted.future.values())
+        assert cheap_total > full_total
+
+    def test_last_slot_query_still_samples(self):
+        """Our strictly positive time factor (documented deviation from the
+        paper's (t2-t)/(t2-t1)) keeps a query alive on its final slot."""
+        query = rm_query(t1=0, duration=5, budget=50.0)
+        plan = plan_sampling(query, region_snapshots(), t_now=4)
+        assert not plan.is_empty
+
+    def test_future_plan_slots_within_horizon(self):
+        query = rm_query(t1=0, duration=6, budget=300.0)
+        plan = plan_sampling(query, region_snapshots(n=10), t_now=2)
+        for t in plan.future:
+            assert 2 <= t <= query.t2

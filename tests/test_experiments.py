@@ -1,0 +1,96 @@
+"""Tests for the experiment harness (config, runner, reporting)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    CI,
+    PAPER,
+    FigureResult,
+    format_figure,
+    format_metric_table,
+    get_scale,
+)
+
+
+class TestScales:
+    def test_paper_matches_section4(self):
+        assert PAPER.n_slots == 50
+        assert PAPER.point_queries_per_slot == 300
+        assert PAPER.rwm_sensors == 200
+        assert PAPER.rnc_sensors == 635
+        assert PAPER.budgets == (7, 10, 15, 20, 25, 30, 35)
+        assert PAPER.monitoring_budget_factors == (7, 10, 15, 20, 25)
+        assert PAPER.query_counts == (250, 500, 750, 1000)
+
+    def test_ci_is_smaller_everywhere(self):
+        assert CI.n_slots < PAPER.n_slots
+        assert CI.point_queries_per_slot < PAPER.point_queries_per_slot
+        assert CI.rnc_sensors < PAPER.rnc_sensors
+
+    def test_get_scale_by_name(self):
+        assert get_scale("paper") is PAPER
+        assert get_scale("CI") is CI
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale() is PAPER
+        monkeypatch.delenv("REPRO_SCALE")
+        assert get_scale() is CI
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(CI, n_slots=0)
+
+
+def sample_result() -> FigureResult:
+    result = FigureResult("figX", "demo", "budget", x_values=[7, 15])
+    for alg, values in [("A", [10.0, 20.0]), ("B", [5.0, 25.0])]:
+        for v in values:
+            result.add(alg, "util", v)
+    return result
+
+
+class TestFigureResult:
+    def test_add_and_metric(self):
+        result = sample_result()
+        assert result.metric("A", "util") == [10.0, 20.0]
+
+    def test_dominates(self):
+        result = sample_result()
+        assert not result.dominates("A", "B", "util")
+        assert result.dominates("A", "B", "util", slack=5.0)
+
+    def test_mean_advantage(self):
+        result = sample_result()
+        assert result.mean_advantage("A", "B", "util") == pytest.approx(0.0)
+
+
+class TestReporting:
+    def test_metric_table_contains_values(self):
+        table = format_metric_table(sample_result(), "util")
+        assert "budget" in table
+        assert "10.000" in table and "25.000" in table
+
+    def test_metric_table_missing_metric(self):
+        assert "no series" in format_metric_table(sample_result(), "nope")
+
+    def test_format_figure_lists_all_metrics(self):
+        result = sample_result()
+        result.add("A", "quality", 0.5)
+        result.add("A", "quality", 0.6)
+        text = format_figure(result)
+        assert "[util]" in text and "[quality]" in text
+        assert "figX" in text
+
+    def test_format_figure_notes(self):
+        result = sample_result()
+        result.notes = "hello world"
+        assert "hello world" in format_figure(result)

@@ -1,0 +1,94 @@
+"""Tests for multi-seed replication and the shape-validation checklists."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    CI,
+    CHECKLISTS,
+    FigureResult,
+    fig2,
+    ordering_robustness,
+    replicate,
+    validate_figure,
+)
+
+MICRO = dataclasses.replace(
+    CI, n_slots=3, point_queries_per_slot=30, rwm_sensors=40, budgets=(7, 35)
+)
+
+
+def fake_figure(scale, seed=0):
+    """Deterministic stand-in figure: A beats B by a seed-dependent margin."""
+    rng = np.random.default_rng(seed)
+    result = FigureResult("fake", "t", "x", x_values=[1, 2])
+    for x in (1.0, 2.0):
+        base = x * 10 + rng.uniform(0, 1)
+        result.add("A", "util", base + 5)
+        result.add("B", "util", base)
+    return result
+
+
+class TestReplicate:
+    def test_aggregates_mean_and_std(self):
+        replicated = replicate(fake_figure, CI, seeds=[1, 2, 3])
+        mean = replicated.mean("A", "util")
+        std = replicated.std("A", "util")
+        assert mean.shape == (2,)
+        assert (std >= 0).all()
+        assert mean[1] > mean[0]
+
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(fake_figure, CI, seeds=[])
+
+    def test_ordering_robustness(self):
+        replicated = replicate(fake_figure, CI, seeds=[1, 2, 3, 4])
+        assert ordering_robustness(replicated, "A", "B", "util") == 1.0
+        assert ordering_robustness(replicated, "B", "A", "util") == 0.0
+
+    def test_format(self):
+        replicated = replicate(fake_figure, CI, seeds=[1, 2])
+        text = replicated.format("util")
+        assert "±" in text and "A" in text
+
+    def test_real_figure_ordering_robust_across_seeds(self):
+        """The fig2 headline ordering holds for every micro-scale seed."""
+        replicated = replicate(fig2, MICRO, seeds=[11, 22, 33])
+        assert ordering_robustness(replicated, "Optimal", "Baseline", "avg_utility") == 1.0
+
+
+class TestValidation:
+    def test_fig2_checklist_passes_on_real_run(self):
+        result = fig2(MICRO, seed=5)
+        report = validate_figure(result)
+        assert report, "fig2 must have a checklist"
+        failures = [c for c in report if not c.passed]
+        assert not failures, [c.format() for c in failures]
+
+    def test_checklist_detects_violation(self):
+        result = fig2(MICRO, seed=5)
+        # Sabotage: make the baseline win everywhere.
+        result.series["Baseline"]["avg_utility"] = [
+            v + 10_000 for v in result.series["Baseline"]["avg_utility"]
+        ]
+        report = validate_figure(result)
+        assert any(not c.passed for c in report)
+
+    def test_unknown_figure_gets_empty_report(self):
+        result = FigureResult("not_a_figure", "t", "x")
+        assert validate_figure(result) == []
+
+    def test_every_declared_checklist_is_nonempty(self):
+        for name, checks in CHECKLISTS.items():
+            assert checks, f"empty checklist for {name}"
+
+    def test_check_format(self):
+        result = fig2(MICRO, seed=5)
+        report = validate_figure(result)
+        assert all(c.format().startswith("[PASS]") or c.format().startswith("[FAIL]")
+                   for c in report)

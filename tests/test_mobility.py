@@ -1,0 +1,235 @@
+"""Tests for the mobility substrate (RWM, waypoint, trace, stationary, RNC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    PAPER_RNC_REGION,
+    PAPER_RNC_WORKING_REGION,
+    MobilityTrace,
+    NokiaCampaignSynthesizer,
+    RandomWaypointMobility,
+    StationaryMobility,
+    TraceMobility,
+    WaypointMobility,
+)
+from repro.spatial import Location, Region
+
+REGION = Region.from_origin(80, 80)
+
+
+class TestRandomWaypoint:
+    def test_population_size(self):
+        model = RandomWaypointMobility(REGION, 50, np.random.default_rng(0))
+        assert model.n_sensors == 50
+        assert len(model.locations()) == 50
+
+    def test_positions_stay_in_region(self):
+        model = RandomWaypointMobility(REGION, 30, np.random.default_rng(1))
+        for _ in range(100):
+            model.advance()
+            assert all(REGION.contains(p) for p in model.locations())
+
+    def test_axis_aligned_steps(self):
+        model = RandomWaypointMobility(REGION, 20, np.random.default_rng(2))
+        before = model.locations()
+        model.advance()
+        after = model.locations()
+        for a, b in zip(before, after):
+            # One coordinate unchanged (or clamped at the border).
+            moved_x = abs(a.x - b.x) > 1e-12
+            moved_y = abs(a.y - b.y) > 1e-12
+            assert not (moved_x and moved_y)
+
+    def test_step_bounded_by_max_speed(self):
+        model = RandomWaypointMobility(
+            REGION, 40, np.random.default_rng(3), max_speed_choices=(4.0, 5.0)
+        )
+        for _ in range(20):
+            before = model.locations()
+            model.advance()
+            for a, b in zip(before, model.locations()):
+                assert a.distance_to(b) <= 5.0 + 1e-9
+
+    def test_max_speed_choices_respected(self):
+        model = RandomWaypointMobility(
+            REGION, 100, np.random.default_rng(4), max_speed_choices=(4.0, 5.0)
+        )
+        assert set(np.unique(model.max_speeds)) <= {4.0, 5.0}
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(REGION, 0, rng)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(REGION, 5, rng, max_speed_choices=())
+
+    def test_present_in_subregion(self):
+        model = RandomWaypointMobility(REGION, 100, np.random.default_rng(5))
+        hotspot = Region.centered_in(REGION, 50, 50)
+        present = model.present_in(hotspot)
+        assert all(hotspot.contains(model.location_of(i)) for i in present)
+
+    def test_run_records_frames(self):
+        model = RandomWaypointMobility(REGION, 10, np.random.default_rng(6))
+        frames = model.run(5)
+        assert len(frames) == 5
+        assert all(len(f) == 10 for f in frames)
+
+    def test_run_invalid(self):
+        model = RandomWaypointMobility(REGION, 10, np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            model.run(0)
+
+    def test_deterministic_given_seed(self):
+        a = RandomWaypointMobility(REGION, 10, np.random.default_rng(42))
+        b = RandomWaypointMobility(REGION, 10, np.random.default_rng(42))
+        a.advance()
+        b.advance()
+        assert a.locations() == b.locations()
+
+
+class TestWaypointMobility:
+    def test_reaches_targets_eventually(self):
+        model = WaypointMobility(REGION, 5, np.random.default_rng(0), max_pause=0)
+        start = model.locations()
+        for _ in range(200):
+            model.advance()
+        assert model.locations() != start
+
+    def test_stays_in_region(self):
+        model = WaypointMobility(REGION, 20, np.random.default_rng(1))
+        for _ in range(100):
+            model.advance()
+            assert all(REGION.contains(p) for p in model.locations())
+
+    def test_invalid_speeds(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            WaypointMobility(REGION, 5, rng, min_speed=0.0)
+        with pytest.raises(ValueError):
+            WaypointMobility(REGION, 5, rng, min_speed=5.0, max_speed=1.0)
+
+
+class TestMobilityTrace:
+    def _trace(self) -> MobilityTrace:
+        frames = [
+            [Location(0, 0), Location(5, 5)],
+            [Location(1, 0), Location(5, 6)],
+            [Location(2, 0), Location(5, 7)],
+        ]
+        return MobilityTrace.from_frames(Region.from_origin(10, 10), frames)
+
+    def test_dimensions(self):
+        trace = self._trace()
+        assert trace.n_slots == 3
+        assert trace.n_sensors == 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(Region.from_origin(1, 1), ())
+
+    def test_ragged_frames_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityTrace.from_frames(
+                Region.from_origin(10, 10),
+                [[Location(0, 0)], [Location(0, 0), Location(1, 1)]],
+            )
+
+    def test_replay_and_hold_at_end(self):
+        replay = TraceMobility(self._trace())
+        assert replay.locations()[0] == Location(0, 0)
+        replay.advance()
+        assert replay.locations()[0] == Location(1, 0)
+        replay.advance()
+        replay.advance()  # past the end: hold the last frame
+        assert replay.locations()[0] == Location(2, 0)
+        assert replay.cursor == 2
+
+    def test_reset(self):
+        replay = TraceMobility(self._trace())
+        replay.advance()
+        replay.reset()
+        assert replay.cursor == 0
+        assert replay.locations()[0] == Location(0, 0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = MobilityTrace.load(path)
+        assert loaded.region == trace.region
+        assert loaded.frames == trace.frames
+
+    def test_mean_presence(self):
+        trace = self._trace()
+        sub = Region(0, 0, 3, 3)
+        # Sensor 0 is inside sub at every slot; sensor 1 never.
+        assert trace.mean_presence(sub) == pytest.approx(1.0)
+
+
+class TestStationary:
+    def test_never_moves(self):
+        positions = [Location(1, 1), Location(2, 2)]
+        model = StationaryMobility(Region.from_origin(5, 5), positions)
+        model.advance()
+        assert model.locations() == tuple(positions)
+
+    def test_rejects_outside_positions(self):
+        with pytest.raises(ValueError):
+            StationaryMobility(Region.from_origin(5, 5), [Location(9, 9)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StationaryMobility(Region.from_origin(5, 5), [])
+
+
+class TestNokiaSynthesizer:
+    def test_default_dimensions_match_paper(self):
+        assert PAPER_RNC_REGION.width == 237.0
+        assert PAPER_RNC_REGION.height == 300.0
+        assert PAPER_RNC_WORKING_REGION.width == 100.0
+
+    def test_population_and_containment(self):
+        model = NokiaCampaignSynthesizer(
+            np.random.default_rng(0), n_sensors=100, target_presence=20
+        )
+        assert model.n_sensors == 100
+        trace = model.synthesize(5, warmup=2)
+        assert trace.n_slots == 5
+        for frame in trace.frames:
+            assert all(PAPER_RNC_REGION.contains(p) for p in frame)
+
+    def test_anchor_bias_affects_presence(self):
+        low = NokiaCampaignSynthesizer(
+            np.random.default_rng(1), n_sensors=200, anchor_in_probability=0.0
+        ).synthesize(10, warmup=10)
+        high = NokiaCampaignSynthesizer(
+            np.random.default_rng(1), n_sensors=200, anchor_in_probability=0.9
+        ).synthesize(10, warmup=10)
+        assert high.mean_presence(PAPER_RNC_WORKING_REGION) > low.mean_presence(
+            PAPER_RNC_WORKING_REGION
+        )
+
+    def test_calibrated_presence_near_target(self):
+        model = NokiaCampaignSynthesizer.calibrated(
+            np.random.default_rng(7),
+            n_sensors=300,
+            target_presence=60.0,
+            pilot_slots=30,
+            iterations=3,
+        )
+        trace = model.synthesize(30, warmup=15)
+        presence = trace.mean_presence(model.working_region)
+        assert 0.6 * 60 <= presence <= 1.5 * 60
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            NokiaCampaignSynthesizer(rng, n_sensors=10, target_presence=50)
+        with pytest.raises(ValueError):
+            NokiaCampaignSynthesizer(rng, anchor_in_probability=1.5)
+        with pytest.raises(ValueError):
+            NokiaCampaignSynthesizer(rng, anchors_per_sensor=0)

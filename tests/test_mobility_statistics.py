@@ -1,0 +1,81 @@
+"""Tests for trace statistics (substitute validation tooling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    MobilityTrace,
+    NokiaCampaignSynthesizer,
+    compute_statistics,
+)
+from repro.spatial import Location, Region
+
+REGION = Region.from_origin(10, 10)
+WORK = Region(0, 0, 5, 10)  # left half
+
+
+def trace_from(rows):
+    frames = [[Location(float(x), 5.0) for x in row] for row in rows]
+    return MobilityTrace.from_frames(REGION, frames)
+
+
+class TestComputeStatistics:
+    def test_presence(self):
+        # Sensor 0 always inside, sensor 1 never, sensor 2 alternates.
+        trace = trace_from([[1, 8, 1], [1, 8, 8], [1, 8, 1]])
+        stats = compute_statistics(trace, WORK)
+        assert stats.mean_presence == pytest.approx((2 + 1 + 2) / 3)
+        assert stats.min_presence == 1
+        assert stats.max_presence == 2
+
+    def test_churn(self):
+        trace = trace_from([[1, 8, 1], [1, 8, 8], [1, 8, 1]])
+        stats = compute_statistics(trace, WORK)
+        # Sensor 2 exits between slot 0->1 and re-enters between 1->2.
+        assert stats.mean_exits_per_slot == pytest.approx(0.5)
+        assert stats.mean_entries_per_slot == pytest.approx(0.5)
+
+    def test_dwell(self):
+        trace = trace_from([[1, 8, 1], [1, 8, 8], [1, 8, 1]])
+        stats = compute_statistics(trace, WORK)
+        # Dwell runs: sensor0 -> 3; sensor2 -> 1 and 1.
+        assert stats.mean_dwell == pytest.approx((3 + 1 + 1) / 3)
+
+    def test_steps(self):
+        trace = trace_from([[0, 0, 0], [3, 0, 4]])
+        stats = compute_statistics(trace, WORK)
+        assert stats.median_step == pytest.approx(3.0)
+        assert stats.p90_step >= 3.0
+
+    def test_single_slot_trace(self):
+        trace = trace_from([[1, 8]])
+        stats = compute_statistics(trace, WORK)
+        assert stats.mean_entries_per_slot == 0.0
+        assert stats.median_step == 0.0
+        assert stats.mean_dwell == pytest.approx(1.0)
+
+    def test_format_mentions_key_numbers(self):
+        trace = trace_from([[1, 8, 1], [1, 8, 8]])
+        text = compute_statistics(trace, WORK).format()
+        assert "presence" in text and "churn" in text and "dwell" in text
+
+
+class TestSubstituteValidation:
+    def test_rnc_substitute_statistics_sane(self):
+        """The substitute must show presence near target AND nonzero churn
+        (sensors moving in and out of the hotspot — the availability
+        obstacle the paper's algorithms are designed around)."""
+        model = NokiaCampaignSynthesizer.calibrated(
+            np.random.default_rng(3),
+            n_sensors=200,
+            target_presence=40.0,
+            pilot_slots=30,
+        )
+        trace = model.synthesize(30, warmup=15)
+        stats = compute_statistics(trace, model.working_region)
+        assert 0.5 * 40 <= stats.mean_presence <= 1.6 * 40
+        assert stats.mean_entries_per_slot > 0.0
+        assert stats.mean_exits_per_slot > 0.0
+        assert stats.mean_dwell >= 1.0

@@ -1,0 +1,179 @@
+"""Tests for the Gaussian-process substrate (eq. 6 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phenomena import (
+    GaussianProcessField,
+    RBFKernel,
+    VarianceReductionState,
+    fit_hyperparameters,
+)
+from repro.spatial import Location
+
+locations = st.builds(
+    Location, st.floats(0, 10, allow_nan=False), st.floats(0, 10, allow_nan=False)
+)
+
+
+def grid(nx: int, ny: int) -> list[Location]:
+    return [Location(float(x), float(y)) for x in range(nx) for y in range(ny)]
+
+
+class TestRBFKernel:
+    def test_diagonal_is_variance(self):
+        k = RBFKernel(variance=2.5, length_scale=1.0)
+        mat = k.matrix([Location(0, 0), Location(3, 3)])
+        assert np.allclose(np.diag(mat), 2.5)
+
+    def test_decay_with_distance(self):
+        k = RBFKernel(variance=1.0, length_scale=2.0)
+        near = k.matrix([Location(0, 0)], [Location(0.5, 0)])[0, 0]
+        far = k.matrix([Location(0, 0)], [Location(5, 0)])[0, 0]
+        assert near > far
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RBFKernel(variance=0.0)
+        with pytest.raises(ValueError):
+            RBFKernel(length_scale=-1.0)
+
+    def test_matrix_is_positive_semidefinite(self):
+        k = RBFKernel(1.0, 1.5)
+        pts = grid(4, 4)
+        eigvals = np.linalg.eigvalsh(k.matrix(pts))
+        assert eigvals.min() > -1e-8
+
+
+class TestVarianceReduction:
+    def setup_method(self):
+        self.gp = GaussianProcessField(RBFKernel(2.0, 2.0), noise=0.3)
+        self.targets = grid(5, 4)
+
+    def test_empty_sets(self):
+        assert self.gp.variance_reduction([], self.targets) == 0.0
+        assert self.gp.variance_reduction([Location(0, 0)], []) == 0.0
+
+    def test_positive_and_bounded_by_prior(self):
+        observed = [Location(1, 1), Location(3, 2)]
+        f = self.gp.variance_reduction(observed, self.targets)
+        assert 0.0 < f <= self.gp.prior_variance(self.targets) + 1e-9
+
+    def test_monotone_in_observations(self):
+        a = [Location(1, 1)]
+        b = a + [Location(4, 3)]
+        assert self.gp.variance_reduction(b, self.targets) >= self.gp.variance_reduction(
+            a, self.targets
+        )
+
+    def test_observing_at_target_reduces_most_locally(self):
+        single_target = [Location(2, 2)]
+        at_target = self.gp.variance_reduction([Location(2, 2)], single_target)
+        far = self.gp.variance_reduction([Location(9, 9)], single_target)
+        assert at_target > far
+
+    def test_posterior_variance_complements_reduction(self):
+        observed = [Location(0, 0), Location(2, 3)]
+        prior = self.gp.prior_variance(self.targets)
+        reduction = self.gp.variance_reduction(observed, self.targets)
+        posterior = self.gp.posterior_variance(self.targets, observed)
+        assert posterior == pytest.approx(prior - reduction)
+
+    def test_duplicate_observations_do_not_crash(self):
+        observed = [Location(1, 1), Location(1, 1)]
+        f = self.gp.variance_reduction(observed, self.targets)
+        assert np.isfinite(f)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            GaussianProcessField(RBFKernel(), noise=0.0)
+
+    @given(st.lists(locations, min_size=1, max_size=5), st.lists(locations, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_nonnegative(self, observed, targets):
+        gp = GaussianProcessField(RBFKernel(1.0, 1.5), noise=0.2)
+        assert gp.variance_reduction(observed, targets) >= -1e-9
+
+
+class TestIncrementalState:
+    @given(st.lists(locations, min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_incremental_matches_direct(self, candidates):
+        gp = GaussianProcessField(RBFKernel(1.5, 2.0), noise=0.25)
+        targets = grid(4, 3)
+        state = VarianceReductionState(gp, targets)
+        chosen: list[Location] = []
+        for c in candidates:
+            direct_gain = gp.variance_reduction(chosen + [c], targets) - gp.variance_reduction(
+                chosen, targets
+            )
+            assert state.gain(c) == pytest.approx(direct_gain, abs=1e-7)
+            state.add(c)
+            chosen.append(c)
+        assert state.reduction == pytest.approx(
+            gp.variance_reduction(chosen, targets), abs=1e-7
+        )
+
+    def test_gain_does_not_mutate(self):
+        gp = GaussianProcessField(RBFKernel(1.0, 1.0), noise=0.2)
+        state = VarianceReductionState(gp, grid(3, 3))
+        state.add(Location(0, 0))
+        before = state.reduction
+        state.gain(Location(1, 1))
+        assert state.reduction == before
+        assert len(state.observed) == 1
+
+
+class TestPredict:
+    def test_predict_interpolates_observations(self):
+        gp = GaussianProcessField(RBFKernel(1.0, 2.0), noise=0.01)
+        observed = [Location(0, 0), Location(4, 0)]
+        values = np.array([1.0, -1.0])
+        mean, var = gp.predict(observed, values, observed)
+        assert mean[0] == pytest.approx(1.0, abs=0.05)
+        assert mean[1] == pytest.approx(-1.0, abs=0.05)
+        assert (var >= 0).all()
+
+    def test_predict_with_no_observations_returns_prior(self):
+        gp = GaussianProcessField(RBFKernel(2.0, 1.0), noise=0.1)
+        mean, var = gp.predict([], np.array([]), grid(2, 2))
+        assert (mean == 0).all()
+        assert np.allclose(var, 2.0)
+
+    def test_predict_misaligned_inputs(self):
+        gp = GaussianProcessField(RBFKernel(), noise=0.1)
+        with pytest.raises(ValueError):
+            gp.predict([Location(0, 0)], np.array([1.0, 2.0]), [Location(1, 1)])
+
+
+class TestHyperparameterFit:
+    def test_recovers_reasonable_scales(self):
+        rng = np.random.default_rng(0)
+        true = RBFKernel(variance=2.0, length_scale=2.5)
+        gp = GaussianProcessField(true, noise=0.2)
+        pts = grid(7, 7)
+        values = gp.sample(pts, rng) + rng.normal(0, 0.2, len(pts))
+        fitted = fit_hyperparameters(pts, values)
+        assert 0.3 <= fitted.variance <= 15.0
+        assert 0.5 <= fitted.length_scale <= 10.0
+        assert fitted.noise > 0
+
+    def test_noise_floor_applied(self):
+        rng = np.random.default_rng(1)
+        gp = GaussianProcessField(RBFKernel(1.0, 2.0), noise=0.05)
+        pts = grid(6, 6)
+        values = gp.sample(pts, rng)  # noiseless observations
+        fitted = fit_hyperparameters(pts, values)
+        assert fitted.noise >= 0.05 * np.sqrt(fitted.variance) - 1e-12
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            fit_hyperparameters([Location(0, 0)], np.array([1.0]))
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            fit_hyperparameters([Location(0, 0), Location(1, 1)], np.array([1.0]))

@@ -1,0 +1,71 @@
+"""Tests for the Matérn kernel family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phenomena import GaussianProcessField, MaternKernel, RBFKernel
+from repro.spatial import Location
+
+
+def grid(nx: int, ny: int) -> list[Location]:
+    return [Location(float(x), float(y)) for x in range(nx) for y in range(ny)]
+
+
+class TestMaternKernel:
+    @pytest.mark.parametrize("nu", [0.5, 1.5, 2.5])
+    def test_diagonal_is_variance(self, nu):
+        k = MaternKernel(variance=2.0, length_scale=1.5, nu=nu)
+        mat = k.matrix(grid(3, 2))
+        assert np.allclose(np.diag(mat), 2.0)
+
+    @pytest.mark.parametrize("nu", [0.5, 1.5, 2.5])
+    def test_decay_with_distance(self, nu):
+        k = MaternKernel(nu=nu)
+        near = k.matrix([Location(0, 0)], [Location(0.3, 0)])[0, 0]
+        far = k.matrix([Location(0, 0)], [Location(4, 0)])[0, 0]
+        assert near > far > 0.0
+
+    def test_smoothness_ordering_near_origin(self):
+        """Rougher kernels (smaller nu) decay faster at short range."""
+        d = [Location(0, 0)], [Location(0.5, 0)]
+        v_05 = MaternKernel(nu=0.5).matrix(*d)[0, 0]
+        v_15 = MaternKernel(nu=1.5).matrix(*d)[0, 0]
+        v_25 = MaternKernel(nu=2.5).matrix(*d)[0, 0]
+        assert v_05 < v_15 < v_25
+
+    def test_approaches_rbf_for_high_nu(self):
+        """nu=2.5 is closer to the RBF than nu=0.5 everywhere."""
+        a, b = [Location(0, 0)], [Location(1.0, 0)]
+        rbf = RBFKernel().matrix(a, b)[0, 0]
+        err_25 = abs(MaternKernel(nu=2.5).matrix(a, b)[0, 0] - rbf)
+        err_05 = abs(MaternKernel(nu=0.5).matrix(a, b)[0, 0] - rbf)
+        assert err_25 < err_05
+
+    @pytest.mark.parametrize("nu", [0.5, 1.5, 2.5])
+    def test_positive_semidefinite(self, nu):
+        k = MaternKernel(variance=1.0, length_scale=1.0, nu=nu)
+        eigvals = np.linalg.eigvalsh(k.matrix(grid(4, 4)))
+        assert eigvals.min() > -1e-8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MaternKernel(variance=0.0)
+        with pytest.raises(ValueError):
+            MaternKernel(length_scale=-1.0)
+        with pytest.raises(ValueError):
+            MaternKernel(nu=2.0)
+
+    def test_usable_inside_gp_field(self):
+        gp = GaussianProcessField(MaternKernel(nu=1.5), noise=0.2)
+        targets = grid(4, 3)
+        reduction = gp.variance_reduction([Location(1, 1)], targets)
+        assert 0.0 < reduction <= gp.prior_variance(targets)
+
+    def test_variance_reduction_monotone_with_matern(self):
+        gp = GaussianProcessField(MaternKernel(nu=0.5), noise=0.2)
+        targets = grid(4, 3)
+        one = gp.variance_reduction([Location(1, 1)], targets)
+        two = gp.variance_reduction([Location(1, 1), Location(3, 2)], targets)
+        assert two >= one

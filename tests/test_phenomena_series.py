@@ -1,0 +1,234 @@
+"""Tests for fields, time series, and sampling-time selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phenomena import (
+    CorrelatedField,
+    HarmonicRegressionModel,
+    OzoneTraceSynthesizer,
+    residual_sum_of_squares,
+    schedule_for_window,
+    select_sampling_times,
+)
+from repro.phenomena.fields import stationary_deployment
+from repro.phenomena.sampling_times import window_series
+from repro.spatial import Location, Region
+
+
+class TestCorrelatedField:
+    def test_value_constant_within_cell(self):
+        field = CorrelatedField(np.random.default_rng(0))
+        a = field.value_at(Location(3.1, 4.2))
+        b = field.value_at(Location(3.9, 4.8))
+        assert a == b  # same grid cell
+
+    def test_values_differ_between_distant_cells(self):
+        field = CorrelatedField(np.random.default_rng(0))
+        values = [field.value_at(Location(x + 0.5, 0.5)) for x in range(20)]
+        assert len(set(values)) > 1
+
+    def test_spatial_correlation(self):
+        """Neighbouring cells are closer in value than far-apart ones."""
+        field = CorrelatedField(np.random.default_rng(1))
+        near_diffs, far_diffs = [], []
+        for x in range(10):
+            base = field.value_at(Location(x + 0.5, 5.5))
+            near_diffs.append(abs(base - field.value_at(Location(x + 0.5, 6.5))))
+            far_diffs.append(abs(base - field.value_at(Location((x + 10) % 20 + 0.5, 14.5))))
+        assert np.mean(near_diffs) < np.mean(far_diffs)
+
+    def test_static_field_does_not_drift(self):
+        field = CorrelatedField(np.random.default_rng(2), temporal_rho=1.0)
+        before = field.value_at(Location(5.5, 5.5))
+        field.advance()
+        assert field.value_at(Location(5.5, 5.5)) == before
+
+    def test_ar_drift_changes_values(self):
+        field = CorrelatedField(np.random.default_rng(2), temporal_rho=0.9)
+        before = field.cell_values().copy()
+        field.advance()
+        assert not np.allclose(before, field.cell_values())
+
+    def test_reading_noise_scales_with_inaccuracy(self):
+        field = CorrelatedField(np.random.default_rng(3))
+        rng = np.random.default_rng(4)
+        loc = Location(5.5, 5.5)
+        precise = [field.reading(loc, 0.0, rng) for _ in range(50)]
+        noisy = [field.reading(loc, 0.2, rng) for _ in range(50)]
+        assert np.std(precise) < np.std(noisy)
+
+    def test_training_sample_fraction(self):
+        field = CorrelatedField(np.random.default_rng(5))
+        locs, values = field.training_sample(0.25, np.random.default_rng(6))
+        assert len(locs) == len(values)
+        assert len(locs) == max(3, round(0.25 * 300))
+
+    def test_training_sample_invalid_fraction(self):
+        field = CorrelatedField(np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            field.training_sample(0.0, np.random.default_rng(6))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CorrelatedField(np.random.default_rng(0), temporal_rho=0.0)
+        with pytest.raises(ValueError):
+            CorrelatedField(np.random.default_rng(0), innovation_scale=-1.0)
+
+    def test_stationary_deployment(self):
+        field = CorrelatedField(np.random.default_rng(7))
+        locs, values = stationary_deployment(field, stride=3)
+        assert len(locs) == len(values)
+        assert all(field.value_at(l) == v for l, v in zip(locs, values))
+
+
+class TestOzoneSynthesizer:
+    def test_length_and_determinism(self):
+        syn = OzoneTraceSynthesizer()
+        a = syn.generate(50, np.random.default_rng(0))
+        b = syn.generate(50, np.random.default_rng(0))
+        assert len(a) == 50
+        assert np.allclose(a, b)
+
+    def test_periodic_structure_dominates_noise(self):
+        syn = OzoneTraceSynthesizer(period=50, noise_std=1.0)
+        series = syn.generate(100, np.random.default_rng(1))
+        # Same phase, one period apart: closer than anti-phase points.
+        same_phase = np.abs(series[:50] - series[50:]).mean()
+        anti_phase = np.abs(series[:50] - np.roll(series[:50], 25)).mean()
+        assert same_phase < anti_phase
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OzoneTraceSynthesizer(period=1)
+        with pytest.raises(ValueError):
+            OzoneTraceSynthesizer(ar_coefficient=1.0)
+        with pytest.raises(ValueError):
+            OzoneTraceSynthesizer(noise_std=-1.0)
+        with pytest.raises(ValueError):
+            OzoneTraceSynthesizer().generate(0, np.random.default_rng(0))
+
+
+class TestHarmonicRegression:
+    def test_design_matrix_width(self):
+        model = HarmonicRegressionModel(50, n_harmonics=2)
+        assert model.n_features == 6
+        assert model.design_matrix([0, 1, 2]).shape == (3, 6)
+
+    def test_fit_predict_on_clean_harmonic(self):
+        model = HarmonicRegressionModel(20, n_harmonics=1, ridge=1e-8)
+        t = np.arange(20)
+        y = 3.0 + 0.1 * t + 2.0 * np.sin(2 * np.pi * t / 20)
+        coef = model.fit(list(t), y)
+        pred = model.predict(coef, list(t))
+        assert np.allclose(pred, y, atol=1e-6)
+
+    def test_residuals_zero_when_fit_on_everything(self):
+        model = HarmonicRegressionModel(20, n_harmonics=1, ridge=1e-8)
+        t = np.arange(20)
+        y = 1.0 + np.cos(2 * np.pi * t / 20)
+        res = model.residuals(y, list(t))
+        assert np.abs(res).max() < 1e-6
+
+    def test_underdetermined_fit_is_stable_with_ridge(self):
+        model = HarmonicRegressionModel(50, n_harmonics=2, ridge=0.3)
+        series = np.sin(np.arange(50) / 5.0) * 10 + 40
+        res = model.residuals(series, [3])
+        assert np.isfinite(res).all()
+        # One regularized sample must NOT explain the series better than
+        # a fit on many well-spread samples.
+        many = residual_sum_of_squares(model, series, list(range(0, 50, 5)))
+        single = residual_sum_of_squares(model, series, [3])
+        assert single > many
+
+    def test_empty_fit_raises(self):
+        model = HarmonicRegressionModel(10)
+        with pytest.raises(ValueError):
+            model.fit([], [])
+
+    def test_residuals_with_no_samples_are_centered_series(self):
+        model = HarmonicRegressionModel(10)
+        series = np.array([1.0, 2.0, 3.0])
+        res = model.residuals(series, [])
+        assert res == pytest.approx(series - series.mean())
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HarmonicRegressionModel(1)
+        with pytest.raises(ValueError):
+            HarmonicRegressionModel(10, n_harmonics=-1)
+        with pytest.raises(ValueError):
+            HarmonicRegressionModel(10, ridge=-0.1)
+
+
+class TestSamplingTimeSelection:
+    def _series(self, n=50):
+        return OzoneTraceSynthesizer().generate(n, np.random.default_rng(0))
+
+    def test_selects_k_distinct_times(self):
+        model = HarmonicRegressionModel(50, 1)
+        chosen = select_sampling_times(self._series(), 5, model)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+        assert chosen == sorted(chosen)
+
+    def test_more_samples_never_hurt_ssr(self):
+        model = HarmonicRegressionModel(50, 1)
+        series = self._series()
+        few = select_sampling_times(series, 3, model)
+        many = select_sampling_times(series, 8, model)
+        assert residual_sum_of_squares(model, series, many) <= residual_sum_of_squares(
+            model, series, few
+        ) + 1e-9
+
+    def test_greedy_beats_worst_choice(self):
+        model = HarmonicRegressionModel(50, 1)
+        series = self._series()
+        chosen = select_sampling_times(series, 4, model)
+        clustered = [0, 1, 2, 3]
+        assert residual_sum_of_squares(model, series, chosen) <= residual_sum_of_squares(
+            model, series, clustered
+        ) + 1e-9
+
+    def test_candidates_restriction(self):
+        model = HarmonicRegressionModel(50, 1)
+        chosen = select_sampling_times(self._series(), 3, model, candidates=range(10, 20))
+        assert all(10 <= t < 20 for t in chosen)
+
+    def test_invalid_k(self):
+        model = HarmonicRegressionModel(50, 1)
+        with pytest.raises(ValueError):
+            select_sampling_times(self._series(), 100, model)
+
+    def test_invalid_candidates(self):
+        model = HarmonicRegressionModel(50, 1)
+        with pytest.raises(ValueError):
+            select_sampling_times(self._series(), 2, model, candidates=[999])
+
+
+class TestScheduleForWindow:
+    def test_times_inside_window(self):
+        series = OzoneTraceSynthesizer().generate(50, np.random.default_rng(0))
+        model = HarmonicRegressionModel(50, 1)
+        times = schedule_for_window(series, start=12, duration=15, k=5, model=model)
+        assert all(12 <= t < 27 for t in times)
+        assert len(times) == 5
+
+    def test_k_capped_by_duration(self):
+        series = OzoneTraceSynthesizer().generate(50, np.random.default_rng(0))
+        model = HarmonicRegressionModel(50, 1)
+        times = schedule_for_window(series, start=0, duration=3, k=10, model=model)
+        assert len(times) == 3
+
+    def test_window_series_wraps(self):
+        series = np.arange(10.0)
+        window = window_series(series, start=8, duration=5)
+        assert window == pytest.approx([8, 9, 0, 1, 2])
+
+    def test_window_series_invalid(self):
+        with pytest.raises(ValueError):
+            window_series(np.arange(5.0), 0, 0)
+        with pytest.raises(ValueError):
+            window_series(np.array([]), 0, 3)

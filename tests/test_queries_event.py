@@ -1,0 +1,116 @@
+"""Tests for the event-detection extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_snapshot
+from repro.queries import (
+    EventDetectionQuery,
+    EventDetectionWorkload,
+    QueryType,
+    detection_confidence,
+)
+from repro.spatial import Location, Region
+
+
+class TestDetectionConfidence:
+    def test_empty_is_zero(self):
+        assert detection_confidence([]) == 0.0
+
+    def test_single_witness(self):
+        assert detection_confidence([0.7]) == pytest.approx(0.7)
+
+    def test_redundancy_compounds(self):
+        assert detection_confidence([0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_perfect_witness_saturates(self):
+        assert detection_confidence([1.0, 0.2]) == pytest.approx(1.0)
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            detection_confidence([1.5])
+
+    @given(st.lists(st.floats(0, 1), max_size=6), st.floats(0, 1))
+    def test_monotone(self, base, extra):
+        assert detection_confidence(base + [extra]) >= detection_confidence(base) - 1e-12
+
+    @given(
+        st.lists(st.floats(0, 1), max_size=4),
+        st.lists(st.floats(0, 1), max_size=4),
+        st.floats(0, 1),
+    )
+    @settings(max_examples=50)
+    def test_submodular(self, small, more, extra):
+        gain_small = detection_confidence(small + [extra]) - detection_confidence(small)
+        gain_big = detection_confidence(small + more + [extra]) - detection_confidence(
+            small + more
+        )
+        assert gain_big <= gain_small + 1e-9
+
+
+class TestEventDetectionQuery:
+    def _query(self, confidence=0.9, threshold=50.0, duration=10) -> EventDetectionQuery:
+        return EventDetectionQuery(
+            Location(5, 5), 0, duration - 1, threshold=threshold,
+            confidence=confidence, budget=duration * 10.0, dmax=5.0, theta_min=0.0,
+        )
+
+    def test_slot_budget_spreads_budget(self):
+        q = self._query(duration=10)
+        assert q.slot_budget() == pytest.approx(10.0)
+
+    def test_slot_query_valuation_saturates_at_confidence(self):
+        q = self._query(confidence=0.5)
+        slot = q.create_slot_query(0)
+        assert slot.query_type is QueryType.EVENT
+        one = [make_snapshot(0, x=5, y=5)]  # quality 1 -> confidence 1 >= 0.5
+        assert slot.value(one) == pytest.approx(slot.budget)
+
+    def test_slot_query_partial_confidence(self):
+        q = self._query(confidence=0.9)
+        slot = q.create_slot_query(0)
+        weak = [make_snapshot(0, x=7.5, y=5)]  # quality 0.5
+        assert slot.value(weak) == pytest.approx(slot.budget * 0.5 / 0.9)
+
+    def test_inactive_slot_rejected(self):
+        q = self._query(duration=5)
+        with pytest.raises(ValueError):
+            q.create_slot_query(99)
+
+    def test_apply_readings_triggers_event(self):
+        q = self._query(confidence=0.6, threshold=50.0)
+        fired = q.apply_readings(0, [(60.0, 0.9)], payment=5.0)
+        assert fired
+        assert q.detections[0][0] == 0
+        assert q.spent == 5.0
+
+    def test_apply_readings_below_threshold(self):
+        q = self._query(confidence=0.6, threshold=50.0)
+        assert not q.apply_readings(0, [(40.0, 0.9)], payment=0.0)
+
+    def test_apply_readings_insufficient_confidence(self):
+        q = self._query(confidence=0.95, threshold=50.0)
+        assert not q.apply_readings(0, [(60.0, 0.5)], payment=0.0)
+
+    def test_apply_readings_empty(self):
+        q = self._query()
+        assert not q.apply_readings(0, [], payment=0.0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            EventDetectionQuery(Location(0, 0), 0, 5, 10.0, confidence=0.0, budget=10.0)
+
+
+class TestEventWorkload:
+    def test_generates_active_queries(self):
+        workload = EventDetectionWorkload(
+            Region.from_origin(20, 20), threshold=40.0, arrivals_per_slot=3
+        )
+        queries = workload.generate(5, np.random.default_rng(0))
+        assert len(queries) == 3
+        assert all(q.active(5) for q in queries)
+        assert all(q.threshold == 40.0 for q in queries)

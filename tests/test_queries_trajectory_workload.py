@@ -1,0 +1,72 @@
+"""Tests for the trajectory workload and its aggregate-machinery reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BaselineAllocator, GreedyAllocator
+from repro.queries import TrajectoryQueryWorkload
+from repro.sensors import SensorSnapshot
+from repro.spatial import Region
+
+REGION = Region.from_origin(50, 50)
+
+
+class TestTrajectoryWorkload:
+    def test_generates_requested_count(self):
+        wl = TrajectoryQueryWorkload(REGION, queries_per_slot=4)
+        queries = wl.generate(0, np.random.default_rng(0))
+        assert len(queries) == 4
+
+    def test_budget_proportional_to_length(self):
+        wl = TrajectoryQueryWorkload(REGION, budget_factor=9.0, sensing_range=10.0)
+        for q in wl.generate(0, np.random.default_rng(1)):
+            assert q.budget == pytest.approx(q.trajectory.length / 15.0 * 9.0)
+
+    def test_waypoints_inside_region(self):
+        wl = TrajectoryQueryWorkload(REGION)
+        for q in wl.generate(0, np.random.default_rng(2)):
+            assert all(REGION.contains(w) for w in q.trajectory.waypoints)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrajectoryQueryWorkload(REGION, queries_per_slot=-1)
+        with pytest.raises(ValueError):
+            TrajectoryQueryWorkload(REGION, n_waypoints=1)
+
+    def test_deterministic(self):
+        wl = TrajectoryQueryWorkload(REGION, queries_per_slot=3)
+        a = wl.generate(0, np.random.default_rng(5))
+        b = wl.generate(0, np.random.default_rng(5))
+        assert [q.budget for q in a] == [q.budget for q in b]
+
+
+class TestTrajectoryAllocation:
+    """The §2.2.3 reduction: trajectory queries run through the same
+    joint machinery as aggregates, sharing sensors across paths."""
+
+    def _sensors(self, n=30, seed=3):
+        rng = np.random.default_rng(seed)
+        return [
+            SensorSnapshot(
+                i, REGION.sample_location(rng), 10.0, float(rng.uniform(0, 0.2)), 1.0
+            )
+            for i in range(n)
+        ]
+
+    def test_greedy_allocates_trajectory_queries(self):
+        wl = TrajectoryQueryWorkload(REGION, queries_per_slot=5, budget_factor=20.0)
+        queries = wl.generate(0, np.random.default_rng(4))
+        result = GreedyAllocator().allocate(queries, self._sensors())
+        result.verify()
+
+    def test_greedy_at_least_matches_baseline(self):
+        totals = {"greedy": 0.0, "baseline": 0.0}
+        for seed in range(5):
+            wl = TrajectoryQueryWorkload(REGION, queries_per_slot=6, budget_factor=15.0)
+            queries = wl.generate(0, np.random.default_rng(seed))
+            sensors = self._sensors(seed=seed + 100)
+            totals["greedy"] += GreedyAllocator().allocate(queries, sensors).total_utility
+            totals["baseline"] += BaselineAllocator().allocate(queries, sensors).total_utility
+        assert totals["greedy"] >= totals["baseline"] - 1e-9

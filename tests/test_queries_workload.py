@@ -1,0 +1,133 @@
+"""Tests for the workload generators (Section 4 setups)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phenomena import (
+    GaussianProcessField,
+    HarmonicRegressionModel,
+    OzoneTraceSynthesizer,
+    RBFKernel,
+)
+from repro.queries import (
+    AggregateQueryWorkload,
+    LocationMonitoringWorkload,
+    PointQueryWorkload,
+    RegionMonitoringWorkload,
+)
+from repro.spatial import Region
+
+REGION = Region.from_origin(50, 50)
+SERIES = OzoneTraceSynthesizer().generate(50, np.random.default_rng(0))
+MODEL = HarmonicRegressionModel(50, 1)
+
+
+class TestPointWorkload:
+    def test_count_and_placement(self):
+        wl = PointQueryWorkload(REGION, n_queries=25, budget=15.0)
+        queries = wl.generate(0, np.random.default_rng(0))
+        assert len(queries) == 25
+        assert all(REGION.contains(q.location) for q in queries)
+        assert all(q.budget == 15.0 for q in queries)
+
+    def test_budget_spread(self):
+        wl = PointQueryWorkload(REGION, n_queries=200, budget=15.0, budget_spread=10.0)
+        queries = wl.generate(0, np.random.default_rng(0))
+        budgets = [q.budget for q in queries]
+        assert min(budgets) >= 5.0 and max(budgets) <= 25.0
+        assert np.std(budgets) > 1.0
+
+    def test_deterministic_given_rng(self):
+        wl = PointQueryWorkload(REGION, n_queries=5)
+        a = wl.generate(0, np.random.default_rng(3))
+        b = wl.generate(0, np.random.default_rng(3))
+        assert [q.location for q in a] == [q.location for q in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PointQueryWorkload(REGION, n_queries=-1)
+        with pytest.raises(ValueError):
+            PointQueryWorkload(REGION, budget_spread=-1.0)
+
+
+class TestAggregateWorkload:
+    def test_budget_formula(self):
+        wl = AggregateQueryWorkload(REGION, budget_factor=7.0, sensing_range=10.0)
+        queries = wl.generate(0, np.random.default_rng(0))
+        for q in queries:
+            assert q.budget == pytest.approx(q.region.area / 15.0 * 7.0)
+
+    def test_count_spread(self):
+        wl = AggregateQueryWorkload(REGION, mean_queries=10, count_spread=5)
+        counts = [
+            len(wl.generate(0, np.random.default_rng(seed))) for seed in range(30)
+        ]
+        assert min(counts) >= 5 and max(counts) <= 15
+
+    def test_regions_inside(self):
+        wl = AggregateQueryWorkload(REGION)
+        for q in wl.generate(0, np.random.default_rng(1)):
+            assert REGION.contains_region(q.region)
+            assert wl.min_side <= q.region.width <= wl.max_side
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggregateQueryWorkload(REGION, mean_queries=0)
+        with pytest.raises(ValueError):
+            AggregateQueryWorkload(REGION, mean_queries=5, count_spread=9)
+        with pytest.raises(ValueError):
+            AggregateQueryWorkload(REGION, min_side=10, max_side=5)
+
+
+class TestLocationMonitoringWorkload:
+    def _wl(self, **kwargs):
+        return LocationMonitoringWorkload(REGION, SERIES, MODEL, **kwargs)
+
+    def test_respects_max_live(self):
+        wl = self._wl(max_live=10, arrivals_per_slot=8)
+        assert len(wl.generate(0, np.random.default_rng(0), live_count=7)) == 3
+        assert len(wl.generate(0, np.random.default_rng(0), live_count=10)) == 0
+
+    def test_duration_and_budget(self):
+        wl = self._wl(budget_factor=9.0, duration_range=(5, 20))
+        for q in wl.generate(3, np.random.default_rng(0)):
+            assert 5 <= q.duration <= 20
+            assert q.budget == pytest.approx(q.duration * 9.0)
+            assert q.t1 == 3
+
+    def test_desired_times_are_one_third_of_duration(self):
+        wl = self._wl()
+        for q in wl.generate(0, np.random.default_rng(1)):
+            expected = max(1, round(q.duration / 3))
+            assert len(q.desired_times) <= expected  # dedup may shrink
+            assert all(q.t1 <= t <= q.t2 for t in q.desired_times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._wl(duration_range=(0, 5))
+        with pytest.raises(ValueError):
+            self._wl(sampling_fraction=0.0)
+
+
+class TestRegionMonitoringWorkload:
+    GP = GaussianProcessField(RBFKernel(1.0, 2.0), noise=0.2)
+
+    def test_budget_formula(self):
+        wl = RegionMonitoringWorkload(REGION, self.GP, budget_factor=10.0, sensing_radius=2.0)
+        for q in wl.generate(0, np.random.default_rng(0)):
+            expected = q.region.area / (3.0 * math.pi * 4.0) * 10.0
+            assert q.budget == pytest.approx(expected)
+
+    def test_one_query_per_slot_default(self):
+        wl = RegionMonitoringWorkload(REGION, self.GP)
+        assert len(wl.generate(0, np.random.default_rng(0))) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionMonitoringWorkload(REGION, self.GP, duration_range=(5, 2))
+        with pytest.raises(ValueError):
+            RegionMonitoringWorkload(REGION, self.GP, sensing_radius=0.0)

@@ -1,0 +1,129 @@
+"""Tests for the cost models of Section 2.4 (eqs. 8, 14, 15)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sensors import (
+    FixedEnergyCost,
+    LinearEnergyCost,
+    PrivacyCostModel,
+    PrivacySensitivity,
+    privacy_loss,
+    total_cost,
+)
+
+
+class TestEnergyCosts:
+    def test_fixed_is_constant(self):
+        model = FixedEnergyCost(base_price=10.0)
+        assert model(1.0) == 10.0
+        assert model(0.0) == 10.0
+
+    def test_linear_at_full_energy_equals_base(self):
+        model = LinearEnergyCost(base_price=10.0, beta=3.0)
+        assert model(1.0) == pytest.approx(10.0)
+
+    def test_linear_at_zero_energy(self):
+        model = LinearEnergyCost(base_price=10.0, beta=3.0)
+        assert model(0.0) == pytest.approx(40.0)  # C * (1 + beta)
+
+    def test_linear_monotone_in_depletion(self):
+        model = LinearEnergyCost(base_price=10.0, beta=2.0)
+        assert model(0.2) > model(0.8)
+
+    def test_energy_out_of_range_rejected(self):
+        model = FixedEnergyCost()
+        with pytest.raises(ValueError):
+            model(1.5)
+        with pytest.raises(ValueError):
+            LinearEnergyCost()( -0.1)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FixedEnergyCost(base_price=-1.0)
+        with pytest.raises(ValueError):
+            LinearEnergyCost(beta=-0.5)
+
+    @given(st.floats(0, 1), st.floats(0, 4))
+    def test_linear_never_below_base(self, energy, beta):
+        model = LinearEnergyCost(base_price=10.0, beta=beta)
+        assert model(energy) >= 10.0 - 1e-12
+
+
+class TestPrivacyLoss:
+    def test_no_history_gives_baseline_loss(self):
+        # Only the current report's weight w remains: p = w / (w(w+1)/2).
+        w = 5
+        assert privacy_loss([], now=10, window=w) == pytest.approx(2.0 / (w + 1))
+
+    def test_reporting_every_slot_gives_full_loss(self):
+        w = 5
+        history = [10 - k for k in range(1, w + 1)]  # slots 5..9
+        assert privacy_loss(history, now=10, window=w) == pytest.approx(1.0)
+
+    def test_recent_reports_weigh_more(self):
+        w = 5
+        recent = privacy_loss([9], now=10, window=w)
+        old = privacy_loss([6], now=10, window=w)
+        assert recent > old
+
+    def test_reports_older_than_window_ignored(self):
+        w = 5
+        base = privacy_loss([], now=100, window=w)
+        assert privacy_loss([10], now=100, window=w) == pytest.approx(base)
+
+    def test_future_report_rejected(self):
+        with pytest.raises(ValueError):
+            privacy_loss([11], now=10, window=5)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            privacy_loss([], now=0, window=0)
+
+    @given(
+        st.lists(st.integers(0, 49), max_size=10),
+        st.integers(50, 60),
+        st.integers(1, 10),
+    )
+    def test_loss_bounded(self, history, now, window):
+        loss = privacy_loss(history, now, window)
+        assert 0.0 < loss
+        # Max loss: all window slots reported, each counted once.  With
+        # duplicate history entries the formula can exceed 1; dedupe first
+        # as the sensor history does.
+        loss_dedup = privacy_loss(sorted(set(history)), now, window)
+        assert loss_dedup <= 1.0 + 1e-9
+
+
+class TestPrivacyCostModel:
+    def test_zero_sensitivity_is_free(self):
+        model = PrivacyCostModel(PrivacySensitivity.ZERO, base_price=10.0)
+        assert model([9, 8], now=10) == 0.0
+
+    def test_eq15_scaling(self):
+        w = 5
+        model = PrivacyCostModel(PrivacySensitivity.MODERATE, base_price=10.0, window=w)
+        expected = 0.5 * privacy_loss([9], 10, w) * 10.0
+        assert model([9], now=10) == pytest.approx(expected)
+
+    def test_levels_are_ordered(self):
+        history, now = [9, 8], 10
+        costs = [
+            PrivacyCostModel(level, base_price=10.0)(history, now)
+            for level in PrivacySensitivity
+        ]
+        assert costs == sorted(costs)
+
+    def test_from_value(self):
+        assert PrivacySensitivity.from_value(0.75) is PrivacySensitivity.HIGH
+        with pytest.raises(ValueError):
+            PrivacySensitivity.from_value(0.3)
+
+    def test_total_cost_composes(self):
+        energy = LinearEnergyCost(base_price=10.0, beta=1.0)
+        privacy = PrivacyCostModel(PrivacySensitivity.VERY_HIGH, base_price=10.0, window=5)
+        cost = total_cost(energy, privacy, remaining_energy=0.5, history=[9], now=10)
+        assert cost == pytest.approx(energy(0.5) + privacy([9], 10))

@@ -1,0 +1,213 @@
+"""Tests for Sensor, SensorSnapshot, SensorFleet and trust models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import RandomWaypointMobility, StationaryMobility
+from repro.sensors import (
+    BetaTrust,
+    FleetConfig,
+    FixedEnergyCost,
+    FullTrust,
+    LinearEnergyCost,
+    PrivacyCostModel,
+    PrivacySensitivity,
+    Sensor,
+    SensorFleet,
+    SensorSnapshot,
+    TieredTrust,
+    UniformTrust,
+)
+from repro.spatial import Location, Region
+
+
+class TestSensorSnapshot:
+    def test_valid_snapshot(self):
+        snap = SensorSnapshot(1, Location(0, 0), 10.0, 0.1, 0.9)
+        assert snap.sensor_id == 1
+
+    def test_invalid_fields(self):
+        with pytest.raises(ValueError):
+            SensorSnapshot(1, Location(0, 0), -1.0, 0.1, 0.9)
+        with pytest.raises(ValueError):
+            SensorSnapshot(1, Location(0, 0), 1.0, 1.5, 0.9)
+        with pytest.raises(ValueError):
+            SensorSnapshot(1, Location(0, 0), 1.0, 0.1, -0.2)
+
+    def test_frozen(self):
+        snap = SensorSnapshot(1, Location(0, 0), 10.0, 0.1, 0.9)
+        with pytest.raises(AttributeError):
+            snap.cost = 5.0
+
+
+class TestSensor:
+    def test_energy_tracks_lifetime(self):
+        sensor = Sensor(0, lifetime=4)
+        assert sensor.remaining_energy == 1.0
+        sensor.record_measurement(0)
+        assert sensor.remaining_energy == pytest.approx(0.75)
+
+    def test_exhaustion(self):
+        sensor = Sensor(0, lifetime=2)
+        sensor.record_measurement(0)
+        sensor.record_measurement(1)
+        assert sensor.is_exhausted
+        with pytest.raises(RuntimeError):
+            sensor.record_measurement(2)
+
+    def test_announce_cost_fixed(self):
+        sensor = Sensor(0, energy_model=FixedEnergyCost(10.0))
+        assert sensor.announce_cost(0) == 10.0
+
+    def test_announce_cost_rises_with_use_under_linear_model(self):
+        sensor = Sensor(0, lifetime=10, energy_model=LinearEnergyCost(10.0, beta=2.0))
+        fresh = sensor.announce_cost(0)
+        for t in range(5):
+            sensor.record_measurement(t)
+        assert sensor.announce_cost(5) > fresh
+
+    def test_privacy_history_pruned_to_window(self):
+        sensor = Sensor(
+            0,
+            lifetime=100,
+            privacy_model=PrivacyCostModel(PrivacySensitivity.HIGH, window=3),
+        )
+        for t in range(10):
+            sensor.record_measurement(t)
+        assert all(9 - t <= 3 for t in sensor.report_history)
+
+    def test_privacy_cost_decays_when_silent(self):
+        sensor = Sensor(
+            0,
+            lifetime=100,
+            privacy_model=PrivacyCostModel(PrivacySensitivity.VERY_HIGH, window=5),
+        )
+        sensor.record_measurement(0)
+        just_after = sensor.announce_cost(1)
+        much_later = sensor.announce_cost(20)
+        assert much_later < just_after
+
+    def test_snapshot_carries_attributes(self):
+        sensor = Sensor(3, inaccuracy=0.15, trust=0.8)
+        snap = sensor.snapshot(Location(1, 2), now=0)
+        assert (snap.sensor_id, snap.inaccuracy, snap.trust) == (3, 0.15, 0.8)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Sensor(0, inaccuracy=2.0)
+        with pytest.raises(ValueError):
+            Sensor(0, trust=-0.5)
+        with pytest.raises(ValueError):
+            Sensor(0, lifetime=0)
+
+
+class TestTrustModels:
+    def test_full_trust(self):
+        values = FullTrust().sample(10, np.random.default_rng(0))
+        assert (values == 1.0).all()
+
+    def test_uniform_trust_bounds(self):
+        values = UniformTrust(0.3, 0.7).sample(200, np.random.default_rng(0))
+        assert values.min() >= 0.3 and values.max() <= 0.7
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            UniformTrust(0.9, 0.1)
+
+    def test_beta_trust_in_unit_interval(self):
+        values = BetaTrust(2, 5).sample(100, np.random.default_rng(0))
+        assert ((0 <= values) & (values <= 1)).all()
+
+    def test_beta_invalid(self):
+        with pytest.raises(ValueError):
+            BetaTrust(0, 1)
+
+    def test_tiered_trust_levels(self):
+        model = TieredTrust(levels=(1.0, 0.5), weights=(0.5, 0.5))
+        values = model.sample(100, np.random.default_rng(0))
+        assert set(np.unique(values)) <= {1.0, 0.5}
+
+    def test_tiered_invalid(self):
+        with pytest.raises(ValueError):
+            TieredTrust(levels=(1.0,), weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            TieredTrust(levels=(1.0, 0.5), weights=(0.9, 0.5))
+
+
+class TestFleet:
+    REGION = Region.from_origin(40, 40)
+    HOTSPOT = Region.centered_in(REGION, 20, 20)
+
+    def _fleet(self, seed=0, **config_kwargs) -> SensorFleet:
+        rng = np.random.default_rng(seed)
+        mobility = RandomWaypointMobility(self.REGION, 50, rng)
+        return SensorFleet(mobility, self.HOTSPOT, FleetConfig(**config_kwargs), rng)
+
+    def test_announcements_only_inside_hotspot(self):
+        fleet = self._fleet()
+        for snap in fleet.announcements():
+            assert self.HOTSPOT.contains(snap.location)
+
+    def test_announcement_costs_default_to_base_price(self):
+        fleet = self._fleet()
+        assert all(s.cost == 10.0 for s in fleet.announcements())
+
+    def test_inaccuracy_range_respected(self):
+        fleet = self._fleet(inaccuracy_range=(0.0, 0.2))
+        gammas = [s.inaccuracy for s in fleet.sensors]
+        assert min(gammas) >= 0.0 and max(gammas) <= 0.2
+
+    def test_exhausted_sensors_silent(self):
+        fleet = self._fleet(lifetime=1)
+        first = fleet.announcements()
+        assert first
+        fleet.record_measurements([s.sensor_id for s in first])
+        fleet.advance()
+        announced_ids = {s.sensor_id for s in fleet.announcements()}
+        assert announced_ids.isdisjoint({s.sensor_id for s in first})
+
+    def test_record_measurements_deduplicates(self):
+        fleet = self._fleet(lifetime=5)
+        sid = fleet.announcements()[0].sensor_id
+        fleet.record_measurements([sid, sid, sid])
+        assert fleet.sensor(sid).readings_taken == 1
+
+    def test_clock_advances(self):
+        fleet = self._fleet()
+        assert fleet.clock == 0
+        fleet.advance()
+        assert fleet.clock == 1
+
+    def test_linear_energy_and_privacy_config(self):
+        fleet = self._fleet(seed=3, linear_energy=True, random_privacy=True)
+        levels = {s.privacy_model.sensitivity for s in fleet.sensors}
+        assert len(levels) > 1  # random assignment hit several levels
+        betas = {type(s.energy_model).__name__ for s in fleet.sensors}
+        assert betas == {"LinearEnergyCost"}
+
+    def test_total_readings_and_exhausted_count(self):
+        fleet = self._fleet(lifetime=1)
+        ids = [s.sensor_id for s in fleet.announcements()][:5]
+        fleet.record_measurements(ids)
+        assert fleet.total_readings() == 5
+        assert fleet.exhausted_count() == 5
+
+    def test_working_region_must_be_inside(self):
+        rng = np.random.default_rng(0)
+        mobility = StationaryMobility(Region.from_origin(5, 5), [Location(1, 1)])
+        with pytest.raises(ValueError):
+            SensorFleet(mobility, Region.from_origin(10, 10), FleetConfig(), rng)
+
+    def test_same_seed_same_fleet(self):
+        a, b = self._fleet(seed=9), self._fleet(seed=9)
+        assert [s.inaccuracy for s in a.sensors] == [s.inaccuracy for s in b.sensors]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(inaccuracy_range=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            FleetConfig(lifetime=0)
+        with pytest.raises(ValueError):
+            FleetConfig(beta_range=(3.0, 1.0))

@@ -1,0 +1,103 @@
+"""Tests for the Beta-reputation trust assessment substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensors import BetaReputationTracker, ReputationRecord
+
+
+class TestReputationRecord:
+    def test_uniform_prior_trust(self):
+        assert ReputationRecord().trust == pytest.approx(0.5)
+
+    def test_trusted_prior(self):
+        assert ReputationRecord(alpha=9, beta=1).trust == pytest.approx(0.9)
+
+    def test_observation_count(self):
+        record = ReputationRecord(alpha=3, beta=2)
+        assert record.observations == pytest.approx(3.0)
+
+
+class TestTracker:
+    def test_agreement_raises_trust(self):
+        tracker = BetaReputationTracker(tolerance=1.0, forgetting=1.0)
+        before = tracker.trust_of(0)
+        after = tracker.observe(0, reading=10.0, reference=10.5)
+        assert after > before
+
+    def test_disagreement_lowers_trust(self):
+        tracker = BetaReputationTracker(tolerance=1.0, forgetting=1.0)
+        before = tracker.trust_of(0)
+        after = tracker.observe(0, reading=10.0, reference=20.0)
+        assert after < before
+
+    def test_trust_converges_for_honest_sensor(self):
+        tracker = BetaReputationTracker(tolerance=0.5, forgetting=1.0)
+        for _ in range(100):
+            tracker.observe(0, 10.0, 10.0)
+        assert tracker.trust_of(0) > 0.95
+
+    def test_trust_converges_for_faulty_sensor(self):
+        tracker = BetaReputationTracker(tolerance=0.5, forgetting=1.0)
+        for _ in range(100):
+            tracker.observe(0, 50.0, 10.0)
+        assert tracker.trust_of(0) < 0.05
+
+    def test_forgetting_lets_compromised_sensor_fall_fast(self):
+        slow = BetaReputationTracker(tolerance=0.5, forgetting=1.0)
+        fast = BetaReputationTracker(tolerance=0.5, forgetting=0.9)
+        for tracker in (slow, fast):
+            for _ in range(100):
+                tracker.observe(0, 10.0, 10.0)  # long honest history
+            for _ in range(10):
+                tracker.observe(0, 50.0, 10.0)  # then compromised
+        assert fast.trust_of(0) < slow.trust_of(0)
+
+    def test_redundant_scoring_demotes_outlier(self):
+        tracker = BetaReputationTracker(tolerance=1.0, forgetting=1.0)
+        for _ in range(20):
+            tracker.observe_redundant({1: 10.0, 2: 10.2, 3: 9.9, 4: 30.0})
+        snapshot = tracker.snapshot()
+        assert snapshot[4] < 0.3
+        assert min(snapshot[1], snapshot[2], snapshot[3]) > 0.7
+
+    def test_redundant_needs_three(self):
+        tracker = BetaReputationTracker()
+        with pytest.raises(ValueError):
+            tracker.observe_redundant({1: 1.0, 2: 2.0})
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BetaReputationTracker(prior_alpha=0.0)
+        with pytest.raises(ValueError):
+            BetaReputationTracker(tolerance=-1.0)
+        with pytest.raises(ValueError):
+            BetaReputationTracker(forgetting=0.0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=40)
+    def test_trust_always_in_unit_interval(self, agreements):
+        tracker = BetaReputationTracker(tolerance=0.5, forgetting=0.95)
+        for agrees in agreements:
+            tracker.observe(0, 0.0, 0.0 if agrees else 10.0)
+            assert 0.0 < tracker.trust_of(0) < 1.0
+
+    def test_end_to_end_with_field(self):
+        """Honest vs noisy sensors measured against a synthetic field."""
+        from repro.phenomena import CorrelatedField
+        from repro.spatial import Location
+
+        rng = np.random.default_rng(0)
+        field = CorrelatedField(rng)
+        tracker = BetaReputationTracker(tolerance=0.5, forgetting=1.0)
+        loc = Location(5.5, 5.5)
+        truth = field.value_at(loc)
+        for _ in range(50):
+            tracker.observe(0, field.reading(loc, 0.01, rng), truth)  # honest
+            tracker.observe(1, field.reading(loc, 0.01, rng) + 5.0, truth)  # biased
+        assert tracker.trust_of(0) > 0.8
+        assert tracker.trust_of(1) < 0.2

@@ -1,0 +1,124 @@
+"""Tests for repro.spatial.coverage, including submodularity properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import (
+    AreaCoverage,
+    Location,
+    Region,
+    Trajectory,
+    TrajectoryCoverage,
+    WeightedCoverage,
+)
+
+REGION = Region.from_origin(10, 10)
+
+locations = st.builds(
+    Location,
+    st.floats(0, 10, allow_nan=False),
+    st.floats(0, 10, allow_nan=False),
+)
+
+
+class TestAreaCoverage:
+    def test_empty_set_has_zero_coverage(self):
+        cov = AreaCoverage(REGION, sensing_range=3.0)
+        assert cov([]) == 0.0
+
+    def test_full_coverage_with_central_big_disk(self):
+        cov = AreaCoverage(REGION, sensing_range=50.0)
+        assert cov([Location(5, 5)]) == pytest.approx(1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            AreaCoverage(REGION, sensing_range=0.0)
+
+    def test_coverage_in_unit_interval(self):
+        cov = AreaCoverage(REGION, sensing_range=2.0)
+        value = cov([Location(5, 5), Location(0, 0)])
+        assert 0.0 < value < 1.0
+
+    def test_mask_for_matches_call(self):
+        cov = AreaCoverage(REGION, sensing_range=3.0)
+        loc = Location(4, 4)
+        assert cov.mask_for(loc).sum() == cov.covered_cells([loc])
+
+    def test_cell_count(self):
+        cov = AreaCoverage(REGION, sensing_range=3.0)
+        assert cov.cell_count == 100
+
+    @given(st.lists(locations, min_size=0, max_size=6), locations)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone(self, base, extra):
+        cov = AreaCoverage(REGION, sensing_range=2.5)
+        assert cov(base + [extra]) >= cov(base) - 1e-12
+
+    @given(
+        st.lists(locations, min_size=0, max_size=4),
+        st.lists(locations, min_size=0, max_size=4),
+        locations,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_submodular(self, small, more, extra):
+        """Diminishing returns: gain at A <= gain at A's superset is false;
+        gain at superset <= gain at subset."""
+        cov = AreaCoverage(REGION, sensing_range=2.5)
+        big = small + more
+        gain_small = cov(small + [extra]) - cov(small)
+        gain_big = cov(big + [extra]) - cov(big)
+        assert gain_big <= gain_small + 1e-9
+
+
+class TestWeightedCoverage:
+    def test_uniform_weights_match_area_coverage(self):
+        area = AreaCoverage(REGION, sensing_range=3.0)
+        weighted = WeightedCoverage(REGION, 3.0, weight_fn=lambda loc: 1.0)
+        sensors = [Location(2, 2), Location(8, 8)]
+        assert weighted(sensors) == pytest.approx(area(sensors))
+
+    def test_importance_shifts_coverage(self):
+        # All importance on the left half: a right-half sensor scores ~0.
+        weighted = WeightedCoverage(
+            REGION, 2.0, weight_fn=lambda loc: 1.0 if loc.x < 5 else 0.0
+        )
+        assert weighted([Location(8, 5)]) == pytest.approx(0.0)
+        assert weighted([Location(1, 5)]) > 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCoverage(REGION, 2.0, weight_fn=lambda loc: -1.0)
+
+    def test_zero_total_weight(self):
+        weighted = WeightedCoverage(REGION, 2.0, weight_fn=lambda loc: 0.0)
+        assert weighted([Location(5, 5)]) == 0.0
+
+
+class TestTrajectoryCoverage:
+    def test_full_corridor_coverage(self):
+        t = Trajectory.from_points([Location(0, 0), Location(4, 0)])
+        cov = TrajectoryCoverage(t, sensing_range=10.0, spacing=1.0)
+        assert cov([Location(2, 0)]) == pytest.approx(1.0)
+
+    def test_partial_coverage(self):
+        t = Trajectory.from_points([Location(0, 0), Location(10, 0)])
+        cov = TrajectoryCoverage(t, sensing_range=1.5, spacing=1.0)
+        value = cov([Location(0, 0)])
+        assert 0.0 < value < 0.5
+
+    def test_mask_for_consistency(self):
+        t = Trajectory.from_points([Location(0, 0), Location(10, 0)])
+        cov = TrajectoryCoverage(t, sensing_range=2.0, spacing=1.0)
+        mask = cov.mask_for(Location(5, 0))
+        assert mask.sum() / cov.n_points == pytest.approx(cov([Location(5, 0)]))
+
+    @given(st.lists(locations, min_size=0, max_size=5), locations)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone(self, base, extra):
+        t = Trajectory.from_points([Location(0, 0), Location(10, 10)])
+        cov = TrajectoryCoverage(t, sensing_range=2.0, spacing=1.0)
+        assert cov(base + [extra]) >= cov(base) - 1e-12

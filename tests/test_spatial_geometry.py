@@ -1,0 +1,103 @@
+"""Tests for repro.spatial.geometry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial import (
+    Location,
+    centroid,
+    euclidean,
+    manhattan,
+    nearest,
+    pairwise_distances,
+)
+
+coords = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestLocation:
+    def test_distance_is_euclidean(self):
+        assert Location(0, 0).distance_to(Location(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        loc = Location(2.5, -7.1)
+        assert loc.distance_to(loc) == 0.0
+
+    def test_manhattan(self):
+        assert Location(0, 0).manhattan_to(Location(3, -4)) == pytest.approx(7.0)
+
+    def test_translated(self):
+        assert Location(1, 2).translated(0.5, -1.0) == Location(1.5, 1.0)
+
+    def test_snapped_rounds_to_cell_center(self):
+        assert Location(1.4, 2.6).snapped() == Location(1.0, 3.0)
+
+    def test_as_tuple_and_iter(self):
+        loc = Location(1.0, 2.0)
+        assert loc.as_tuple() == (1.0, 2.0)
+        assert tuple(loc) == (1.0, 2.0)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {Location(1, 2): "a"}
+        assert d[Location(1, 2)] == "a"
+
+    def test_ordering_is_lexicographic(self):
+        assert Location(1, 5) < Location(2, 0)
+        assert Location(1, 1) < Location(1, 2)
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Location(ax, ay), Location(bx, by)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Location(ax, ay), Location(bx, by), Location(cx, cy)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestHelpers:
+    def test_euclidean_and_manhattan_wrappers(self):
+        a, b = Location(0, 0), Location(1, 1)
+        assert euclidean(a, b) == pytest.approx(math.sqrt(2))
+        assert manhattan(a, b) == pytest.approx(2.0)
+
+    def test_pairwise_distances_shape(self):
+        points = [Location(0, 0), Location(1, 0), Location(0, 2)]
+        others = [Location(0, 0), Location(3, 4)]
+        mat = pairwise_distances(points, others)
+        assert mat.shape == (3, 2)
+        assert mat[0, 0] == pytest.approx(0.0)
+        assert mat[0, 1] == pytest.approx(5.0)
+
+    def test_pairwise_self_distance_is_symmetric(self):
+        points = [Location(0, 0), Location(1, 0), Location(0, 2)]
+        mat = pairwise_distances(points)
+        assert np.allclose(mat, mat.T)
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_pairwise_empty(self):
+        assert pairwise_distances([]).shape[0] == 0
+
+    def test_nearest_picks_closest(self):
+        target = Location(0, 0)
+        candidates = [Location(5, 5), Location(1, 1), Location(-2, 0)]
+        assert nearest(target, candidates) == Location(1, 1)
+
+    def test_nearest_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            nearest(Location(0, 0), [])
+
+    def test_centroid(self):
+        points = [Location(0, 0), Location(2, 0), Location(1, 3)]
+        assert centroid(points) == Location(1.0, 1.0)
+
+    def test_centroid_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            centroid([])

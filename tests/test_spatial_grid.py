@@ -1,0 +1,85 @@
+"""Tests for repro.spatial.grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spatial import Grid, GridIndex, Location, Region
+
+
+class TestGrid:
+    def test_dimensions(self):
+        grid = Grid(Region.from_origin(20, 15), cell_size=1.0)
+        assert grid.n_cols == 20
+        assert grid.n_rows == 15
+        assert grid.n_cells == 300
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            Grid(Region.from_origin(5, 5), cell_size=0.0)
+
+    def test_cell_of_and_center_roundtrip(self):
+        grid = Grid(Region.from_origin(10, 10), cell_size=2.0)
+        cell = grid.cell_of(Location(3.5, 7.9))
+        assert cell == (1, 3)
+        center = grid.center_of(cell)
+        assert center == Location(3.0, 7.0)
+        assert grid.cell_of(center) == cell
+
+    def test_cell_of_clamps_outside_points(self):
+        grid = Grid(Region.from_origin(10, 10))
+        assert grid.cell_of(Location(-4, 100)) == (0, 9)
+
+    def test_center_of_invalid_cell_raises(self):
+        grid = Grid(Region.from_origin(4, 4))
+        with pytest.raises(ValueError):
+            grid.center_of((10, 0))
+
+    def test_cells_enumeration(self):
+        grid = Grid(Region.from_origin(3, 2))
+        cells = list(grid.cells())
+        assert len(cells) == 6
+        assert (0, 0) in cells and (2, 1) in cells
+
+    def test_centers_inside_region(self):
+        grid = Grid(Region(5, 5, 9, 8))
+        for c in grid.centers():
+            assert grid.region.contains(c)
+
+
+class TestGridIndex:
+    def test_within_finds_only_in_radius(self):
+        index = GridIndex(cell_size=5.0)
+        index.insert(Location(0, 0), "a")
+        index.insert(Location(3, 4), "b")  # distance 5
+        index.insert(Location(10, 0), "c")
+        hits = {item for _, item in index.within(Location(0, 0), 5.0)}
+        assert hits == {"a", "b"}
+
+    def test_within_zero_radius_matches_exact(self):
+        index = GridIndex()
+        index.insert(Location(2, 2), "x")
+        assert [i for _, i in index.within(Location(2, 2), 0.0)] == ["x"]
+
+    def test_negative_radius_raises(self):
+        index = GridIndex()
+        with pytest.raises(ValueError):
+            index.within(Location(0, 0), -1.0)
+
+    def test_extend_and_len(self):
+        index = GridIndex()
+        index.extend([(Location(i, i), i) for i in range(10)])
+        assert len(index) == 10
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        points = [Location(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(200)]
+        index = GridIndex(cell_size=7.0)
+        index.extend([(p, i) for i, p in enumerate(points)])
+        for _ in range(20):
+            center = Location(rng.uniform(0, 50), rng.uniform(0, 50))
+            radius = rng.uniform(1, 15)
+            expected = {i for i, p in enumerate(points) if center.distance_to(p) <= radius}
+            got = {item for _, item in index.within(center, radius)}
+            assert got == expected

@@ -1,0 +1,120 @@
+"""Tests for repro.spatial.region."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial import Location, Region
+
+
+class TestConstruction:
+    def test_from_origin(self):
+        r = Region.from_origin(10, 5)
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (0, 0, 10, 5)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, -1, 5)
+        with pytest.raises(ValueError):
+            Region(0, 3, 5, 2)
+
+    def test_zero_area_region_is_allowed(self):
+        r = Region(1, 1, 1, 1)
+        assert r.area == 0.0
+        assert r.contains(Location(1, 1))
+
+    def test_centered_in_matches_paper_hotspot(self):
+        outer = Region.from_origin(80, 80)
+        hotspot = Region.centered_in(outer, 50, 50)
+        assert hotspot == Region(15, 15, 65, 65)
+
+    def test_centered_in_too_big_raises(self):
+        with pytest.raises(ValueError):
+            Region.centered_in(Region.from_origin(10, 10), 20, 5)
+
+    def test_random_subregion_is_contained(self):
+        rng = np.random.default_rng(0)
+        outer = Region.from_origin(100, 100)
+        for _ in range(50):
+            sub = Region.random_subregion(outer, rng, min_side=2, max_side=30)
+            assert outer.contains_region(sub)
+            assert 2 <= sub.width <= 30
+            assert 2 <= sub.height <= 30
+
+    def test_random_subregion_min_side_too_big(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Region.random_subregion(Region.from_origin(5, 5), rng, min_side=10)
+
+
+class TestPredicates:
+    def test_contains_boundary(self):
+        r = Region.from_origin(10, 10)
+        assert r.contains(Location(0, 0))
+        assert r.contains(Location(10, 10))
+        assert not r.contains(Location(10.01, 5))
+
+    def test_overlaps(self):
+        a = Region(0, 0, 10, 10)
+        assert a.overlaps(Region(5, 5, 15, 15))
+        assert a.overlaps(Region(10, 10, 20, 20))  # shared corner
+        assert not a.overlaps(Region(11, 0, 20, 10))
+
+    def test_intersection(self):
+        a = Region(0, 0, 10, 10)
+        b = Region(5, 5, 15, 15)
+        assert a.intersection(b) == Region(5, 5, 10, 10)
+        assert a.intersection(Region(20, 20, 30, 30)) is None
+
+    def test_contains_region(self):
+        outer = Region(0, 0, 10, 10)
+        assert outer.contains_region(Region(1, 1, 9, 9))
+        assert outer.contains_region(outer)
+        assert not outer.contains_region(Region(5, 5, 11, 9))
+
+
+class TestGeometry:
+    def test_area_and_center(self):
+        r = Region(1, 2, 5, 10)
+        assert r.area == pytest.approx(32.0)
+        assert r.center == Location(3.0, 6.0)
+
+    def test_clamp(self):
+        r = Region.from_origin(10, 10)
+        assert r.clamp(Location(-5, 5)) == Location(0, 5)
+        assert r.clamp(Location(11, 12)) == Location(10, 10)
+        assert r.clamp(Location(3, 4)) == Location(3, 4)
+
+    def test_sample_location_inside(self):
+        rng = np.random.default_rng(7)
+        r = Region(2, 3, 8, 9)
+        for _ in range(100):
+            assert r.contains(r.sample_location(rng))
+
+    def test_sample_locations_count(self):
+        rng = np.random.default_rng(7)
+        r = Region.from_origin(10, 10)
+        locs = r.sample_locations(25, rng)
+        assert len(locs) == 25
+        assert all(r.contains(p) for p in locs)
+
+    def test_grid_cells_count_and_centers(self):
+        r = Region.from_origin(4, 3)
+        cells = list(r.grid_cells(1.0))
+        assert len(cells) == 12
+        assert Location(0.5, 0.5) in cells
+        assert Location(3.5, 2.5) in cells
+        assert all(r.contains(c) for c in cells)
+
+    def test_grid_cells_with_coarser_cell(self):
+        r = Region.from_origin(4, 4)
+        cells = list(r.grid_cells(2.0))
+        assert len(cells) == 4
+
+    @given(st.floats(1, 50), st.floats(1, 50))
+    def test_area_matches_width_times_height(self, w, h):
+        r = Region.from_origin(w, h)
+        assert r.area == pytest.approx(w * h)

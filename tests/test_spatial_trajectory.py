@@ -1,0 +1,78 @@
+"""Tests for repro.spatial.trajectory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spatial import Location, Region, Trajectory
+
+
+class TestTrajectory:
+    def test_requires_two_waypoints(self):
+        with pytest.raises(ValueError):
+            Trajectory((Location(0, 0),))
+
+    def test_length_of_straight_line(self):
+        t = Trajectory.from_points([Location(0, 0), Location(3, 4)])
+        assert t.length == pytest.approx(5.0)
+
+    def test_length_of_polyline(self):
+        t = Trajectory.from_points([Location(0, 0), Location(1, 0), Location(1, 2)])
+        assert t.length == pytest.approx(3.0)
+
+    def test_distance_to_point_on_segment(self):
+        t = Trajectory.from_points([Location(0, 0), Location(10, 0)])
+        assert t.distance_to(Location(5, 0)) == pytest.approx(0.0)
+        assert t.distance_to(Location(5, 3)) == pytest.approx(3.0)
+
+    def test_distance_beyond_endpoints_uses_endpoint(self):
+        t = Trajectory.from_points([Location(0, 0), Location(10, 0)])
+        assert t.distance_to(Location(-3, 4)) == pytest.approx(5.0)
+        assert t.distance_to(Location(13, 4)) == pytest.approx(5.0)
+
+    def test_distance_zero_length_segment(self):
+        t = Trajectory.from_points([Location(1, 1), Location(1, 1)])
+        assert t.distance_to(Location(4, 5)) == pytest.approx(5.0)
+
+    def test_covers(self):
+        t = Trajectory.from_points([Location(0, 0), Location(10, 0)])
+        assert t.covers(Location(5, 1.5), corridor=2.0)
+        assert not t.covers(Location(5, 2.5), corridor=2.0)
+
+    def test_sample_points_spacing(self):
+        t = Trajectory.from_points([Location(0, 0), Location(10, 0)])
+        pts = t.sample_points(2.0)
+        assert pts[0] == Location(0, 0)
+        assert pts[-1] == Location(10, 0)
+        for a, b in zip(pts, pts[1:]):
+            assert a.distance_to(b) <= 2.0 + 1e-9
+
+    def test_sample_points_across_corners(self):
+        t = Trajectory.from_points([Location(0, 0), Location(2, 0), Location(2, 2)])
+        pts = t.sample_points(1.0)
+        assert Location(2, 0) not in pts or True  # corner may or may not land
+        assert pts[-1] == Location(2, 2)
+        assert len(pts) >= 4
+
+    def test_sample_points_invalid_spacing(self):
+        t = Trajectory.from_points([Location(0, 0), Location(1, 0)])
+        with pytest.raises(ValueError):
+            t.sample_points(0.0)
+
+    def test_bounding_region(self):
+        t = Trajectory.from_points([Location(1, 2), Location(5, -1)])
+        box = t.bounding_region(margin=1.0)
+        assert box == Region(0, -2, 6, 3)
+
+    def test_random_stays_in_region(self):
+        rng = np.random.default_rng(0)
+        region = Region.from_origin(30, 30)
+        for _ in range(10):
+            t = Trajectory.random(region, rng, n_waypoints=5)
+            assert all(region.contains(w) for w in t.waypoints)
+
+    def test_random_needs_two_waypoints(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Trajectory.random(Region.from_origin(5, 5), rng, n_waypoints=1)
