@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Declarative scenarios: the SlotEngine behind a JSON-shaped spec.
+
+The paper evaluates four fixed experiment families; the unified engine
+makes that a configuration space.  This example declares three scenarios —
+a pure point workload, the same world under the sequential baseline, and a
+full mixed workload — as :class:`repro.datasets.ScenarioSpec` objects (the
+exact shape the ``repro scenario`` CLI reads from JSON), then runs and
+tabulates them with :func:`repro.experiments.compare_scenarios`.
+
+Run:  python examples/scenario_specs.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.datasets import ScenarioSpec, StreamSpec
+from repro.experiments import compare_scenarios
+
+SPECS = [
+    ScenarioSpec(
+        name="points-greedy",
+        dataset="rwm",
+        seed=2013,
+        n_sensors=80,
+        n_slots=8,
+        allocator="greedy",
+        streams=(StreamSpec("point", params={"n_queries": 50, "budget": 15.0}),),
+    ),
+    ScenarioSpec(
+        name="points-baseline-seq",
+        dataset="rwm",
+        seed=2013,
+        n_sensors=80,
+        n_slots=8,
+        allocator="baseline",
+        allocation="sequential",
+        streams=(
+            StreamSpec("point", params={"n_queries": 50, "budget": 15.0}),
+            StreamSpec("aggregate", params={"mean_queries": 4, "count_spread": 2}),
+        ),
+    ),
+    ScenarioSpec(
+        name="mixed-city",
+        dataset="rwm",
+        seed=2013,
+        n_sensors=80,
+        n_slots=8,
+        allocator="greedy",
+        streams=(
+            StreamSpec("point", params={"n_queries": 30, "budget": 15.0}),
+            StreamSpec("aggregate", params={"mean_queries": 4, "count_spread": 2}),
+            StreamSpec(
+                "location_monitoring",
+                params={"max_live": 10, "arrivals_per_slot": 3},
+            ),
+        ),
+    ),
+]
+
+
+def main() -> None:
+    print("One spec as the CLI would read it (repro scenario spec.json):\n")
+    print(json.dumps(SPECS[-1].to_dict(), indent=2))
+    print()
+
+    figure = compare_scenarios(
+        SPECS, metrics=("avg_utility", "satisfaction_ratio", "egalitarian_ratio")
+    )
+    print(f"{'scenario':<22} {'utility/slot':>13} {'satisfied':>10} {'egalitarian':>12}")
+    for name, series in figure.series.items():
+        print(
+            f"{name:<22} {series['avg_utility'][0]:>13.1f} "
+            f"{series['satisfaction_ratio'][0]:>9.1%} "
+            f"{series['egalitarian_ratio'][0]:>11.1%}"
+        )
+    print(
+        "\nEvery row ran through the same SlotEngine — only the declared"
+        " streams and allocation strategy differ."
+    )
+
+
+if __name__ == "__main__":
+    main()

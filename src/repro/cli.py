@@ -1,9 +1,11 @@
-"""Command-line interface: reproduce figures and run demos from a shell.
+"""Command-line interface: reproduce figures, run demos and scenario specs.
 
 Usage::
 
     python -m repro figures --figure fig2 --scale ci
     python -m repro figures --all --scale paper --out results/
+    python -m repro scenario --example > myspec.json
+    python -m repro scenario myspec.json --slots 20
     python -m repro demo
     python -m repro info
 """
@@ -47,6 +49,18 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--validate", action="store_true",
                          help="run the DESIGN.md shape checklist on each figure")
 
+    scenario = sub.add_parser(
+        "scenario", help="run a declared ScenarioSpec (JSON) through the SlotEngine"
+    )
+    scenario.add_argument("spec", nargs="*", default=[],
+                          help="path(s) to ScenarioSpec JSON files")
+    scenario.add_argument("--example", action="store_true",
+                          help="print a ready-to-run sample spec and exit")
+    scenario.add_argument("--slots", type=int, default=None,
+                          help="override the spec's n_slots")
+    scenario.add_argument("--out", default=None,
+                          help="write per-spec summary JSON files here")
+
     sub.add_parser("demo", help="run the quickstart comparison")
     sub.add_parser("info", help="print version and available figures")
     return parser
@@ -88,10 +102,72 @@ def _run_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenario(args: argparse.Namespace) -> int:
+    from .datasets import ScenarioSpec
+
+    if args.example:
+        print(json.dumps(ScenarioSpec.example().to_dict(), indent=2))
+        return 0
+    if not args.spec:
+        print("give at least one spec file, or --example", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    from .core import ReproError
+
+    for path in args.spec:
+        try:
+            spec = ScenarioSpec.from_json(path)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error loading {path}: {exc}", file=sys.stderr)
+            return 2
+        n_slots = args.slots if args.slots is not None else spec.n_slots
+        try:
+            summary = spec.run(n_slots)
+        except (ValueError, TypeError, ReproError) as exc:
+            # mis-declared spec: rm without intel, bad workload params,
+            # allocator/stream mismatch the static checks can't see, ...
+            print(f"error running {spec.name}: {exc}", file=sys.stderr)
+            return 2
+        print(f"{spec.name}  [{spec.dataset}, {spec.n_sensors} sensors, "
+              f"{n_slots} slots, {spec.allocator}/{spec.allocation}]")
+        print(f"  avg utility/slot : {summary.average_utility:10.2f}")
+        print(f"  satisfaction     : {summary.satisfaction_ratio:10.1%}")
+        print(f"  egalitarian      : {summary.egalitarian_ratio:10.1%}")
+        for label in sorted(summary.quality_samples):
+            print(f"  quality[{label:<20}]: {summary.average_quality(label):7.3f}")
+        if out_dir:
+            payload = {
+                "spec": spec.to_dict(),
+                "n_slots": n_slots,
+                "average_utility": summary.average_utility,
+                "satisfaction_ratio": summary.satisfaction_ratio,
+                "egalitarian_ratio": summary.egalitarian_ratio,
+                "quality": {
+                    label: summary.average_quality(label)
+                    for label in summary.quality_samples
+                },
+                "slots": [
+                    {
+                        "slot": r.slot,
+                        "value": r.value,
+                        "cost": r.cost,
+                        "issued": r.issued,
+                        "answered": r.answered,
+                        "extras": r.extras,
+                    }
+                    for r in summary.slots
+                ],
+            }
+            (out_dir / f"{spec.name}.json").write_text(json.dumps(payload, indent=2))
+    return 0
+
+
 def _run_demo() -> int:
     import numpy as np
 
-    from .core import BaselineAllocator, OneShotSimulation, OptimalPointAllocator
+    from .core import BaselineAllocator, OptimalPointAllocator, one_shot_engine
     from .datasets import build_rwm_scenario
     from .queries import PointQueryWorkload
 
@@ -104,10 +180,10 @@ def _run_demo() -> int:
         workload = PointQueryWorkload(
             scenario.working_region, n_queries=100, budget=15.0, dmax=scenario.dmax
         )
-        sim = OneShotSimulation(
+        engine = one_shot_engine(
             scenario.make_fleet(), workload, allocator, np.random.default_rng(2)
         )
-        summary = sim.run(5)
+        summary = engine.run(5)
         print(
             f"  {name:<9} utility/slot={summary.average_utility:8.1f}  "
             f"satisfaction={summary.satisfaction_ratio:.1%}"
@@ -126,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figures":
         return _run_figures(args)
+    if args.command == "scenario":
+        return _run_scenario(args)
     if args.command == "demo":
         return _run_demo()
     if args.command == "info":

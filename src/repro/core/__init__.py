@@ -4,8 +4,21 @@ from .aggregator import Aggregator, QueryReceipt, SlotDigest, UserAccount
 from .allocation import AllocationResult, Allocator, check_distinct
 from .clairvoyant import ClairvoyantPlan, simulate_myopic_gap, solve_clairvoyant
 from .baselines import BaselineAllocator
+from .engine import (
+    JointSlotAllocation,
+    LocationMonitoringStream,
+    OneShotStream,
+    QueryStream,
+    RegionMonitoringStream,
+    SequentialBufferedAllocation,
+    SlotEngine,
+    location_monitoring_engine,
+    mix_engine,
+    one_shot_engine,
+    region_monitoring_engine,
+)
 from .errors import AllocationError, PaymentInvariantError, ReproError, SolverError
-from .greedy import GreedyAllocator
+from .greedy import GreedyAllocator, relevant_queries_by_sensor
 from .local_search import LocalSearchPointAllocator, RandomizedLocalSearchAllocator
 from .metrics import SimulationSummary, SlotRecord
 from .mix import BaselineMixAllocator, MixAllocator, MixOutcome
@@ -18,6 +31,7 @@ from .optimal import OptimalPointAllocator, exhaustive_point_search
 from .payments import proportionate_shares, redistribute_contribution
 from .point_problem import PointProblem
 from .sampling import SamplingPlan, paper_weight_function, plan_sampling
+from .valuation import ValuationKernel
 from .simulation import (
     LocationMonitoringSimulation,
     MixSimulation,
@@ -45,8 +59,21 @@ __all__ = [
     "LocalSearchPointAllocator",
     "RandomizedLocalSearchAllocator",
     "GreedyAllocator",
+    "relevant_queries_by_sensor",
     "BaselineAllocator",
     "PointProblem",
+    "ValuationKernel",
+    "SlotEngine",
+    "QueryStream",
+    "OneShotStream",
+    "LocationMonitoringStream",
+    "RegionMonitoringStream",
+    "JointSlotAllocation",
+    "SequentialBufferedAllocation",
+    "one_shot_engine",
+    "location_monitoring_engine",
+    "region_monitoring_engine",
+    "mix_engine",
     "proportionate_shares",
     "redistribute_contribution",
     "LocationMonitoringController",

@@ -164,7 +164,14 @@ class AllocationResult:
 
 
 class Allocator(Protocol):
-    """The common interface of all per-slot scheduling algorithms."""
+    """The common interface of all per-slot scheduling algorithms.
+
+    Allocators may additionally accept a ``kernel`` keyword (a
+    :class:`~repro.core.valuation.ValuationKernel` built once per slot from
+    the same announcements) to skip restacking the slot's sensor arrays;
+    the engine only passes it to allocators that declare support via a
+    truthy ``supports_kernel`` attribute.
+    """
 
     def allocate(
         self, queries: Sequence[Query], sensors: Sequence[SensorSnapshot]

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..queries import PointQuery, Query
 from ..sensors import SensorSnapshot
 from .allocation import AllocationResult, check_distinct
+from .valuation import ValuationKernel
 
 __all__ = ["BaselineAllocator"]
 
@@ -40,6 +43,7 @@ class BaselineAllocator:
     """
 
     name = "Baseline"
+    supports_kernel = True
 
     def __init__(self, min_gain: float = 1e-9, share_colocated: bool = True) -> None:
         if min_gain < 0:
@@ -48,12 +52,24 @@ class BaselineAllocator:
         self.share_colocated = share_colocated
 
     def allocate(
-        self, queries: Sequence[Query], sensors: Sequence[SensorSnapshot]
+        self,
+        queries: Sequence[Query],
+        sensors: Sequence[SensorSnapshot],
+        kernel: ValuationKernel | None = None,
     ) -> AllocationResult:
         check_distinct(queries, sensors)
         result = AllocationResult()
         if not queries or not sensors:
             return result
+
+        # Vectorized Q_{l_s} prefilter for plain point queries (the scalar
+        # fallback covers every other type).
+        relevance_row: dict[str, np.ndarray] = {}
+        if kernel is not None and kernel.matches(sensors):
+            plain = [q for q in queries if type(q) is PointQuery]
+            if plain:
+                rel = kernel.relevance(plain)
+                relevance_row = {q.query_id: rel[i] for i, q in enumerate(plain)}
 
         paid: set[int] = set()  # sensors whose cost is already covered
         answered: set[str] = set()
@@ -63,7 +79,11 @@ class BaselineAllocator:
                 continue
             state = query.new_state()
             spent_new: list[SensorSnapshot] = []
-            candidates = [s for s in sensors if query.relevant(s)]
+            row = relevance_row.get(query.query_id)
+            if row is not None:
+                candidates = [s for s, ok in zip(sensors, row) if ok]
+            else:
+                candidates = [s for s in sensors if query.relevant(s)]
             chosen_ids: set[int] = set()
             while True:
                 best, best_net, best_gain = None, 0.0, 0.0

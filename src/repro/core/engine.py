@@ -1,0 +1,628 @@
+"""The unified slot engine — one composable implementation of the paper's
+Section 2.1 / 4.1 protocol.
+
+Every experiment family used to own a near-identical simulation loop
+(one-shot, location monitoring, region monitoring, query mix).  The
+:class:`SlotEngine` factors that loop out once::
+
+    announce -> generate queries -> allocate -> settle -> advance
+
+and delegates everything family-specific to pluggable
+:class:`QueryStream` components:
+
+* :class:`OneShotStream` — fresh point/aggregate queries per slot;
+* :class:`LocationMonitoringStream` — live continuous queries driven
+  through Algorithm 2's controller;
+* :class:`RegionMonitoringStream` — Algorithm 3's controller over a GP
+  field.
+
+Each stream owns its arrivals, retirement, and quality accounting; the
+engine owns the clock, the announcements, the per-slot
+:class:`~repro.core.valuation.ValuationKernel` (built once and shared by
+every allocator consulted in the slot) and the
+:class:`~repro.core.metrics.SimulationSummary`.
+
+How the emitted queries are turned into an
+:class:`~repro.core.allocation.AllocationResult` is itself pluggable:
+
+* :class:`JointSlotAllocation` — all streams' queries go into a single
+  allocator call (Algorithm 5's joint stage, or the single-family
+  engines);
+* :class:`SequentialBufferedAllocation` — the Section 4.7 baseline:
+  stage-1 query kinds run first, their sensors are re-announced at zero
+  cost (data buffering), and the remaining kinds run second.
+
+Arbitrary mixes of streams, fleets and allocators can therefore be
+declared and run — see :class:`repro.datasets.scenario.ScenarioSpec` for
+the declarative layer on top.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from ..queries import (
+    LocationMonitoringQuery,
+    PointQuery,
+    Query,
+    RegionMonitoringQuery,
+)
+from ..sensors import SensorFleet, SensorSnapshot
+from .allocation import AllocationResult, Allocator
+from .metrics import SimulationSummary, SlotRecord
+from .monitoring import LocationMonitoringController, RegionMonitoringController
+from .valuation import ValuationKernel
+
+__all__ = [
+    "FLUSH_SLOT",
+    "QueryStream",
+    "OneShotStream",
+    "LocationMonitoringStream",
+    "RegionMonitoringStream",
+    "SlotAllocation",
+    "JointSlotAllocation",
+    "SequentialBufferedAllocation",
+    "SlotEngine",
+    "quality_of",
+    "call_allocator",
+]
+
+#: Retirement timestamp that expires every continuous query (end-of-run flush).
+FLUSH_SLOT = 10**9
+
+
+def quality_of(query: Query, value: float) -> float:
+    """Achieved value over the query's reference maximum."""
+    if query.max_value <= 0:
+        return 0.0
+    return value / query.max_value
+
+
+def call_allocator(
+    allocator: Allocator,
+    queries: Sequence[Query],
+    sensors: Sequence[SensorSnapshot],
+    kernel: ValuationKernel | None,
+) -> AllocationResult:
+    """Invoke ``allocator``, forwarding the slot kernel when supported."""
+    if kernel is not None and getattr(allocator, "supports_kernel", False):
+        return allocator.allocate(queries, sensors, kernel=kernel)
+    return allocator.allocate(queries, sensors)
+
+
+# ----------------------------------------------------------------------
+# streams
+# ----------------------------------------------------------------------
+class QueryStream(abc.ABC):
+    """One source of queries inside a slot engine.
+
+    A stream owns the full lifecycle of its queries: per-slot arrivals
+    (and retirement of expired continuous queries), the queries it emits
+    into the slot's allocation, and folding the allocation outcome back
+    into its own accounting.
+
+    Class attributes tune how a stream composes with others:
+
+    ``allocation_rank``
+        Sort key for concatenating emissions into the joint allocation
+        (aggregates first reproduces Algorithm 5's input order).
+    ``settle_rank``
+        Sort key for settlement; monitoring streams settle first so their
+        payment adjustments land before one-shot streams read per-query
+        utilities from the ledger.
+    """
+
+    kind: str = "stream"
+    allocation_rank: int = 0
+    settle_rank: int = 0
+
+    @abc.abstractmethod
+    def begin_slot(
+        self, t: int, rng: np.random.Generator, summary: SimulationSummary
+    ) -> None:
+        """Retire expired queries and draw this slot's arrivals."""
+
+    @abc.abstractmethod
+    def emit(self, t: int, sensors: Sequence[SensorSnapshot]) -> list[Query]:
+        """The queries this stream submits to the slot's allocation."""
+
+    @abc.abstractmethod
+    def settle(
+        self,
+        t: int,
+        result: AllocationResult,
+        record: SlotRecord,
+        summary: SimulationSummary,
+    ) -> None:
+        """Fold the allocation outcome into stream + summary accounting."""
+
+    def flush(self, summary: SimulationSummary) -> None:
+        """End-of-run: retire everything still live."""
+
+
+class OneShotStream(QueryStream):
+    """Fresh one-shot queries per slot (point or aggregate workloads).
+
+    Args:
+        workload: any ``generate(t, rng) -> list[Query]`` source.
+        kind: label used by allocation strategies to stage streams.
+        count_issued / count_answered: whether this stream's queries count
+            towards the slot's issued/answered totals (the paper's mix
+            figure counts only user point queries).
+        record_slot_qualities: additionally append per-slot quality samples
+            to the :class:`SlotRecord` (the single-family engines do).
+        quality_label: summary label for quality samples; defaults to each
+            query's ``query_type.value``.
+    """
+
+    def __init__(
+        self,
+        workload,
+        kind: str = "one_shot",
+        allocation_rank: int = 0,
+        count_issued: bool = True,
+        count_answered: bool = True,
+        record_slot_qualities: bool = True,
+        quality_label: str | None = None,
+    ) -> None:
+        self.workload = workload
+        self.kind = kind
+        self.allocation_rank = allocation_rank
+        self.count_issued = count_issued
+        self.count_answered = count_answered
+        self.record_slot_qualities = record_slot_qualities
+        self.quality_label = quality_label
+        self.current: list[Query] = []
+
+    def begin_slot(self, t, rng, summary):
+        self.current = list(self.workload.generate(t, rng))
+
+    def emit(self, t, sensors):
+        return list(self.current)
+
+    def settle(self, t, result, record, summary):
+        if self.count_issued:
+            record.issued += len(self.current)
+        value = 0.0
+        for query in self.current:
+            if result.is_answered(query.query_id):
+                if self.count_answered:
+                    record.answered += 1
+                achieved = result.values[query.query_id]
+                value += achieved
+                quality = quality_of(query, achieved)
+                if self.record_slot_qualities:
+                    record.qualities.append(quality)
+                label = self.quality_label or query.query_type.value
+                summary.add_quality(label, quality)
+            summary.record_query_outcome(result.query_utility(query.query_id))
+        record.value += value
+
+
+class LocationMonitoringStream(QueryStream):
+    """Live location-monitoring queries driven by Algorithm 2's controller."""
+
+    kind = "location_monitoring"
+    allocation_rank = 2
+    settle_rank = -2
+
+    def __init__(
+        self,
+        workload,
+        controller: LocationMonitoringController | None = None,
+        allocation_rank: int | None = None,
+        count_issued: bool = True,
+        count_answered: bool = True,
+        samples_key: str | None = "samples",
+        live_key: str | None = "live",
+    ) -> None:
+        self.workload = workload
+        self.controller = (
+            controller if controller is not None else LocationMonitoringController()
+        )
+        if allocation_rank is not None:
+            self.allocation_rank = allocation_rank
+        self.count_issued = count_issued
+        self.count_answered = count_answered
+        self.samples_key = samples_key
+        self.live_key = live_key
+        self.live: list[LocationMonitoringQuery] = []
+        self.children: list[PointQuery] = []
+
+    def begin_slot(self, t, rng, summary):
+        self._retire(t, summary)
+        self.live.extend(self.workload.generate(t, rng, live_count=len(self.live)))
+
+    def emit(self, t, sensors):
+        self.children = self.controller.create_point_queries(self.live, t)
+        return list(self.children)
+
+    def settle(self, t, result, record, summary):
+        samples, value_delta = self.controller.apply_results(
+            self.live, self.children, result, t
+        )
+        record.value += value_delta
+        if self.count_issued:
+            record.issued += len(self.children)
+        if self.count_answered:
+            record.answered += sum(
+                1 for child in self.children if result.is_answered(child.query_id)
+            )
+        if self.samples_key is not None:
+            record.extras[self.samples_key] = float(samples)
+        if self.live_key is not None:
+            record.extras[self.live_key] = float(len(self.live))
+
+    def flush(self, summary):
+        self._retire(FLUSH_SLOT, summary)
+
+    def _retire(self, t: int, summary: SimulationSummary) -> None:
+        remaining: list[LocationMonitoringQuery] = []
+        for query in self.live:
+            if query.expired(t):
+                summary.add_quality("location_monitoring", query.quality_of_results())
+                summary.record_query_outcome(query.achieved_value() - query.spent)
+            else:
+                remaining.append(query)
+        self.live = remaining
+
+
+class RegionMonitoringStream(QueryStream):
+    """Live region-monitoring queries driven by Algorithm 3's controller."""
+
+    kind = "region_monitoring"
+    allocation_rank = 3
+    settle_rank = -1
+
+    def __init__(
+        self,
+        workload,
+        controller: RegionMonitoringController | None = None,
+        allocation_rank: int | None = None,
+        count_issued: bool = True,
+        count_answered: bool = True,
+        live_key: str | None = "live",
+    ) -> None:
+        self.workload = workload
+        self.controller = (
+            controller if controller is not None else RegionMonitoringController()
+        )
+        if allocation_rank is not None:
+            self.allocation_rank = allocation_rank
+        self.count_issued = count_issued
+        self.count_answered = count_answered
+        self.live_key = live_key
+        self.live: list[RegionMonitoringQuery] = []
+        self.children: list[PointQuery] = []
+        self.plans: dict = {}
+
+    def begin_slot(self, t, rng, summary):
+        self._retire(t, summary)
+        self.live.extend(self.workload.generate(t, rng))
+
+    def emit(self, t, sensors):
+        self.children, self.plans = self.controller.create_point_queries(
+            self.live, sensors, t
+        )
+        return list(self.children)
+
+    def settle(self, t, result, record, summary):
+        outcomes = self.controller.apply_results(
+            self.live, self.children, self.plans, result, t
+        )
+        self.controller.adjust_payments(result, outcomes)
+        record.value += sum(o.achieved_value for o in outcomes)
+        if self.count_issued:
+            record.issued += len(self.children)
+        if self.count_answered:
+            record.answered += sum(
+                1 for child in self.children if result.is_answered(child.query_id)
+            )
+        if self.live_key is not None:
+            record.extras[self.live_key] = float(len(self.live))
+
+    def flush(self, summary):
+        self._retire(FLUSH_SLOT, summary)
+
+    def _retire(self, t: int, summary: SimulationSummary) -> None:
+        remaining: list[RegionMonitoringQuery] = []
+        for query in self.live:
+            if query.expired(t):
+                summary.add_quality("region_monitoring", query.quality_of_results())
+                summary.record_query_outcome(query.total_value() - query.spent)
+            else:
+                remaining.append(query)
+        self.live = remaining
+
+
+# ----------------------------------------------------------------------
+# slot allocation strategies
+# ----------------------------------------------------------------------
+class SlotAllocation(Protocol):
+    """Turns the streams' emitted queries into one settled slot result."""
+
+    def run(
+        self,
+        t: int,
+        streams: Sequence[QueryStream],
+        sensors: Sequence[SensorSnapshot],
+        kernel: ValuationKernel | None,
+    ) -> AllocationResult: ...
+
+
+def _emissions_in_rank_order(
+    pairs: Iterable[tuple[QueryStream, list[Query]]]
+) -> list[Query]:
+    ordered = sorted(pairs, key=lambda pair: pair[0].allocation_rank)
+    return [query for _, queries in ordered for query in queries]
+
+
+class JointSlotAllocation:
+    """All streams' queries in one allocator call (Algorithm 5 stage 2)."""
+
+    def __init__(self, allocator: Allocator) -> None:
+        self.allocator = allocator
+
+    def run(self, t, streams, sensors, kernel):
+        emissions = [(stream, stream.emit(t, sensors)) for stream in streams]
+        queries = _emissions_in_rank_order(emissions)
+        return call_allocator(self.allocator, queries, sensors, kernel)
+
+
+class SequentialBufferedAllocation:
+    """Sequential per-kind execution with data buffering (Section 4.7).
+
+    Stage-1 streams (by ``kind``) allocate first; their selected sensors
+    are re-announced at zero cost for the stage-2 streams ("the cost of
+    selected sensors is set to zero for subsequent queries").  The merged
+    ledger restores the original cost snapshots so each sensor still shows
+    exactly one cost recovery.
+    """
+
+    def __init__(
+        self,
+        stage1_allocator: Allocator,
+        stage2_allocator: Allocator,
+        stage1_kinds: Sequence[str] = ("aggregate",),
+    ) -> None:
+        self.stage1_allocator = stage1_allocator
+        self.stage2_allocator = stage2_allocator
+        self.stage1_kinds = frozenset(stage1_kinds)
+
+    def run(self, t, streams, sensors, kernel):
+        stage1_streams = [s for s in streams if s.kind in self.stage1_kinds]
+        stage2_streams = [s for s in streams if s.kind not in self.stage1_kinds]
+
+        stage1_queries = _emissions_in_rank_order(
+            (stream, stream.emit(t, sensors)) for stream in stage1_streams
+        )
+        stage1 = call_allocator(self.stage1_allocator, stage1_queries, sensors, kernel)
+        result = AllocationResult()
+        result.merge(stage1)
+
+        # Stage-1 sensors are buffered: re-announce them at zero cost.  The
+        # kernel stays valid — it never depends on announced prices.
+        zeroed = {
+            sid: SensorSnapshot(
+                sensor_id=snap.sensor_id,
+                location=snap.location,
+                cost=0.0,
+                inaccuracy=snap.inaccuracy,
+                trust=snap.trust,
+            )
+            for sid, snap in stage1.selected.items()
+        }
+        stage2_sensors = [zeroed.get(s.sensor_id, s) for s in sensors]
+
+        stage2_queries = _emissions_in_rank_order(
+            (stream, stream.emit(t, stage2_sensors)) for stream in stage2_streams
+        )
+        stage2 = call_allocator(
+            self.stage2_allocator, stage2_queries, stage2_sensors, kernel
+        )
+
+        # Merge stage 2, restoring original cost snapshots so the combined
+        # ledger still shows each sensor recovering its true cost (paid
+        # once, in stage 1).
+        restored = AllocationResult(
+            selected={
+                sid: (stage1.selected[sid] if sid in stage1.selected else snap)
+                for sid, snap in stage2.selected.items()
+            },
+            assignments=stage2.assignments,
+            values=stage2.values,
+            payments=stage2.payments,
+        )
+        result.merge(restored)
+        return result
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class SlotEngine:
+    """Composable slot-synchronous simulation (Section 2.1 / 4.1 protocol).
+
+    Args:
+        fleet: the sensor fleet (owns mobility, costs, lifetime).
+        streams: the query sources, in the order their workloads should
+            consume the shared ``rng`` each slot.
+        allocation: a :class:`SlotAllocation` strategy, or a plain
+            :class:`Allocator` (wrapped in :class:`JointSlotAllocation`).
+        rng: drives the workloads only — mobility randomness lives in the
+            fleet, so two engines sharing a replayed trace and the same
+            workload seed compare algorithms on identical inputs.
+        verify_each_slot: run the settlement invariants on every slot's
+            merged result (Algorithm 5 does; cheap, but off by default for
+            the single-family engines which verify inside the allocator).
+        use_kernel: build the shared per-slot :class:`ValuationKernel`
+            (disable only to benchmark the unshared path).
+    """
+
+    def __init__(
+        self,
+        fleet: SensorFleet,
+        streams: Sequence[QueryStream],
+        allocation: SlotAllocation | Allocator,
+        rng: np.random.Generator,
+        *,
+        verify_each_slot: bool = False,
+        use_kernel: bool = True,
+    ) -> None:
+        if not streams:
+            raise ValueError("SlotEngine needs at least one query stream")
+        self.fleet = fleet
+        self.streams = list(streams)
+        if hasattr(allocation, "run"):
+            self.allocation: SlotAllocation = allocation  # type: ignore[assignment]
+        else:
+            self.allocation = JointSlotAllocation(allocation)  # type: ignore[arg-type]
+        self.rng = rng
+        self.verify_each_slot = verify_each_slot
+        self.use_kernel = use_kernel
+
+    def stream(self, kind: str) -> QueryStream:
+        """The first stream of the given kind (raises ``KeyError`` if none)."""
+        for stream in self.streams:
+            if stream.kind == kind:
+                return stream
+        raise KeyError(f"no stream of kind {kind!r}")
+
+    def run(self, n_slots: int) -> SimulationSummary:
+        summary = SimulationSummary()
+        for _ in range(n_slots):
+            self.step(summary)
+        for stream in self.streams:
+            stream.flush(summary)
+        return summary
+
+    def step(self, summary: SimulationSummary) -> SlotRecord:
+        """Run one slot of the protocol; appends and returns its record."""
+        t = self.fleet.clock
+        for stream in self.streams:
+            stream.begin_slot(t, self.rng, summary)
+        sensors = self.fleet.announcements()
+        kernel = ValuationKernel.from_sensors(sensors) if self.use_kernel else None
+        result = self.allocation.run(t, self.streams, sensors, kernel)
+        record = SlotRecord(slot=t, cost=result.total_cost)
+        for stream in sorted(self.streams, key=lambda s: s.settle_rank):
+            stream.settle(t, result, record, summary)
+        if self.verify_each_slot:
+            result.verify()
+        summary.slots.append(record)
+        self.fleet.record_measurements(list(result.selected))
+        self.fleet.advance()
+        return record
+
+
+# ----------------------------------------------------------------------
+# engine factories for the four canonical experiment families
+# ----------------------------------------------------------------------
+def one_shot_engine(fleet, workload, allocator, rng) -> SlotEngine:
+    """Figures 2-7: a stream of one-shot (point or aggregate) queries."""
+    return SlotEngine(
+        fleet,
+        [OneShotStream(workload, kind="one_shot", record_slot_qualities=True)],
+        JointSlotAllocation(allocator),
+        rng,
+    )
+
+
+def location_monitoring_engine(
+    fleet, workload, point_allocator, rng, controller=None
+) -> SlotEngine:
+    """Figure 8: continuous location-monitoring queries."""
+    return SlotEngine(
+        fleet,
+        [LocationMonitoringStream(workload, controller=controller)],
+        JointSlotAllocation(point_allocator),
+        rng,
+    )
+
+
+def region_monitoring_engine(
+    fleet, workload, point_allocator, rng, controller=None
+) -> SlotEngine:
+    """Figure 9: continuous region-monitoring queries over a GP field."""
+    return SlotEngine(
+        fleet,
+        [RegionMonitoringStream(workload, controller=controller)],
+        JointSlotAllocation(point_allocator),
+        rng,
+    )
+
+
+def mix_engine(
+    fleet,
+    point_workload,
+    aggregate_workload,
+    location_workload,
+    rng,
+    *,
+    region_workload=None,
+    joint: Allocator | None = None,
+    lm_controller: LocationMonitoringController | None = None,
+    rm_controller: RegionMonitoringController | None = None,
+    sequential: bool = False,
+    stage1_allocator: Allocator | None = None,
+    stage2_allocator: Allocator | None = None,
+) -> SlotEngine:
+    """Figure 10: point + aggregate + monitoring streams in one slot cycle.
+
+    ``sequential=False`` reproduces Algorithm 5 (joint allocation over all
+    emitted queries, default greedy); ``sequential=True`` the Section 4.7
+    baseline (aggregates buffered first, then everything else at
+    discounted sensor costs).
+    """
+    from .baselines import BaselineAllocator
+    from .greedy import GreedyAllocator
+
+    streams: list[QueryStream] = [
+        OneShotStream(
+            point_workload,
+            kind="point",
+            allocation_rank=1,
+            count_issued=True,
+            count_answered=True,
+            record_slot_qualities=False,
+            quality_label="point",
+        ),
+        OneShotStream(
+            aggregate_workload,
+            kind="aggregate",
+            allocation_rank=0,
+            count_issued=False,
+            count_answered=False,
+            record_slot_qualities=False,
+            quality_label="aggregate",
+        ),
+        LocationMonitoringStream(
+            location_workload,
+            controller=lm_controller,
+            count_issued=False,
+            count_answered=False,
+            samples_key="lm_samples",
+            live_key=None,
+        ),
+    ]
+    if region_workload is not None:
+        streams.append(
+            RegionMonitoringStream(
+                region_workload,
+                controller=rm_controller,
+                count_issued=False,
+                count_answered=False,
+                live_key=None,
+            )
+        )
+    if sequential:
+        allocation: SlotAllocation = SequentialBufferedAllocation(
+            stage1_allocator if stage1_allocator is not None else BaselineAllocator(),
+            stage2_allocator if stage2_allocator is not None else BaselineAllocator(),
+        )
+    else:
+        allocation = JointSlotAllocation(joint if joint is not None else GreedyAllocator())
+    return SlotEngine(fleet, streams, allocation, rng, verify_each_slot=True)

@@ -23,12 +23,52 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..queries import Query, ValuationState
+import numpy as np
+
+from ..queries import PointQuery, Query, ValuationState
 from ..sensors import SensorSnapshot
 from .allocation import AllocationResult, check_distinct
 from .payments import proportionate_shares
+from .valuation import ValuationKernel
 
-__all__ = ["GreedyAllocator"]
+__all__ = ["GreedyAllocator", "relevant_queries_by_sensor"]
+
+
+def relevant_queries_by_sensor(
+    queries: Sequence[Query],
+    sensors: Sequence[SensorSnapshot],
+    kernel: ValuationKernel | None = None,
+) -> dict[int, list[str]]:
+    """The paper's ``Q_{l_s}`` prefilter: per sensor, its relevant query ids.
+
+    With a slot kernel the single-sensor point queries — the bulk of every
+    mixed slot — are screened in one vectorized pass; other query types fall
+    back to their scalar ``relevant``.  Query order within each sensor's
+    list matches the input order exactly, as the greedy settlement depends
+    on it.
+    """
+    relevant: dict[int, list[str]] = {}
+    plain_points = (
+        [(i, q) for i, q in enumerate(queries) if type(q) is PointQuery]
+        if kernel is not None and kernel.matches(sensors)
+        else []
+    )
+    if plain_points:
+        rel = kernel.relevance([q for _, q in plain_points])
+        point_pos = np.asarray([i for i, _ in plain_points], dtype=np.intp)
+        others = [(i, q) for i, q in enumerate(queries) if type(q) is not PointQuery]
+        for j, snapshot in enumerate(sensors):
+            indices = list(point_pos[rel[:, j]])
+            indices.extend(i for i, q in others if q.relevant(snapshot))
+            indices.sort()
+            if indices:
+                relevant[snapshot.sensor_id] = [queries[i].query_id for i in indices]
+    else:
+        for snapshot in sensors:
+            qids = [q.query_id for q in queries if q.relevant(snapshot)]
+            if qids:
+                relevant[snapshot.sensor_id] = qids
+    return relevant
 
 
 class GreedyAllocator:
@@ -42,6 +82,7 @@ class GreedyAllocator:
     """
 
     name = "Greedy"
+    supports_kernel = True
 
     def __init__(self, min_gain: float = 1e-9, verify: bool = True) -> None:
         if min_gain < 0:
@@ -50,7 +91,10 @@ class GreedyAllocator:
         self.verify = verify
 
     def allocate(
-        self, queries: Sequence[Query], sensors: Sequence[SensorSnapshot]
+        self,
+        queries: Sequence[Query],
+        sensors: Sequence[SensorSnapshot],
+        kernel: ValuationKernel | None = None,
     ) -> AllocationResult:
         check_distinct(queries, sensors)
         result = AllocationResult()
@@ -61,13 +105,10 @@ class GreedyAllocator:
         queries_by_id = {q.query_id: q for q in queries}
 
         # The paper's Q_{l_s}: only queries a sensor could possibly serve.
-        relevant: dict[int, list[str]] = {}
-        remaining: dict[int, SensorSnapshot] = {}
-        for snapshot in sensors:
-            qids = [q.query_id for q in queries if q.relevant(snapshot)]
-            if qids:
-                relevant[snapshot.sensor_id] = qids
-                remaining[snapshot.sensor_id] = snapshot
+        relevant = relevant_queries_by_sensor(queries, sensors, kernel)
+        remaining: dict[int, SensorSnapshot] = {
+            s.sensor_id: s for s in sensors if s.sensor_id in relevant
+        }
 
         # Cached (net utility, per-query positive gains); recomputed lazily.
         cache: dict[int, tuple[float, dict[str, float]]] = {}

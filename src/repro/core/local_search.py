@@ -29,6 +29,7 @@ from ..queries import PointQuery
 from ..sensors import SensorSnapshot
 from .allocation import AllocationResult
 from .point_problem import PointProblem
+from .valuation import ValuationKernel
 
 __all__ = ["LocalSearchPointAllocator", "RandomizedLocalSearchAllocator"]
 
@@ -63,6 +64,7 @@ class LocalSearchPointAllocator:
     """
 
     name = "LocalSearch"
+    supports_kernel = True
 
     def __init__(self, epsilon: float = 0.01) -> None:
         if epsilon <= 0:
@@ -71,9 +73,12 @@ class LocalSearchPointAllocator:
 
     # ------------------------------------------------------------------
     def allocate(
-        self, queries: Sequence[PointQuery], sensors: Sequence[SensorSnapshot]
+        self,
+        queries: Sequence[PointQuery],
+        sensors: Sequence[SensorSnapshot],
+        kernel: ValuationKernel | None = None,
     ) -> AllocationResult:
-        problem = PointProblem.build(list(queries), list(sensors))
+        problem = PointProblem.build(list(queries), list(sensors), kernel=kernel)
         if problem.n_sensors == 0 or problem.n_locations == 0:
             return AllocationResult()
         member_mask = self.search(problem)

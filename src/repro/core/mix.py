@@ -36,6 +36,8 @@ from .monitoring import (
     RegionMonitoringController,
     RegionSlotOutcome,
 )
+from .engine import call_allocator
+from .valuation import ValuationKernel
 
 __all__ = ["MixOutcome", "MixAllocator", "BaselineMixAllocator"]
 
@@ -106,6 +108,7 @@ class MixAllocator:
         lm_queries: Sequence[LocationMonitoringQuery],
         rm_queries: Sequence[RegionMonitoringQuery],
         sensors: Sequence[SensorSnapshot],
+        kernel: ValuationKernel | None = None,
     ) -> MixOutcome:
         # Stage 1: point-query creation for continuous queries.
         lm_children = self.lm_controller.create_point_queries(lm_queries, t)
@@ -118,7 +121,7 @@ class MixAllocator:
         all_queries.extend(point_queries)
         all_queries.extend(lm_children)
         all_queries.extend(rm_children)
-        result = self.joint.allocate(all_queries, sensors)
+        result = call_allocator(self.joint, all_queries, sensors, kernel)
         # Stage 3: apply the outcomes to the continuous queries.
         lm_samples, lm_value_delta = self.lm_controller.apply_results(
             lm_queries, lm_children, result, t
@@ -169,9 +172,12 @@ class BaselineMixAllocator:
         lm_queries: Sequence[LocationMonitoringQuery],
         rm_queries: Sequence[RegionMonitoringQuery],
         sensors: Sequence[SensorSnapshot],
+        kernel: ValuationKernel | None = None,
     ) -> MixOutcome:
         result = AllocationResult()
-        stage1 = self.aggregate_stage.allocate(list(aggregate_queries), sensors)
+        stage1 = call_allocator(
+            self.aggregate_stage, list(aggregate_queries), sensors, kernel
+        )
         result.merge(stage1)
 
         # Stage-1 sensors are buffered: re-announce them at zero cost.
@@ -192,7 +198,7 @@ class BaselineMixAllocator:
             rm_queries, stage2_sensors, t
         )
         stage2_queries: list[Query] = list(point_queries) + lm_children + rm_children
-        stage2 = self.point_stage.allocate(stage2_queries, stage2_sensors)
+        stage2 = call_allocator(self.point_stage, stage2_queries, stage2_sensors, kernel)
 
         lm_samples, lm_value_delta = self.lm_controller.apply_results(
             lm_queries, lm_children, stage2, t

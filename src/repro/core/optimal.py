@@ -30,6 +30,7 @@ from ..sensors import SensorSnapshot
 from .allocation import AllocationResult
 from .errors import SolverError
 from .point_problem import PointProblem
+from .valuation import ValuationKernel
 
 __all__ = ["OptimalPointAllocator", "exhaustive_point_search"]
 
@@ -49,6 +50,7 @@ class OptimalPointAllocator:
     """
 
     name = "Optimal"
+    supports_kernel = True
 
     def __init__(
         self,
@@ -61,9 +63,12 @@ class OptimalPointAllocator:
         self.sparse = sparse
 
     def allocate(
-        self, queries: Sequence[PointQuery], sensors: Sequence[SensorSnapshot]
+        self,
+        queries: Sequence[PointQuery],
+        sensors: Sequence[SensorSnapshot],
+        kernel: ValuationKernel | None = None,
     ) -> AllocationResult:
-        problem = PointProblem.build(list(queries), list(sensors))
+        problem = PointProblem.build(list(queries), list(sensors), kernel=kernel)
         if problem.n_sensors == 0 or problem.n_locations == 0:
             return AllocationResult()
 

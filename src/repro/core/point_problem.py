@@ -20,6 +20,7 @@ from ..spatial import Location
 from .allocation import AllocationResult, check_distinct
 from .errors import AllocationError
 from .payments import proportionate_shares
+from .valuation import ValuationKernel
 
 __all__ = ["PointProblem"]
 
@@ -46,8 +47,19 @@ class PointProblem:
 
     @classmethod
     def build(
-        cls, queries: list[PointQuery], sensors: list[SensorSnapshot]
+        cls,
+        queries: list[PointQuery],
+        sensors: list[SensorSnapshot],
+        kernel: ValuationKernel | None = None,
     ) -> "PointProblem":
+        """Build the dense problem, reusing a slot-shared ``kernel`` if given.
+
+        The kernel carries only geometry/quality arrays, so one built from
+        this slot's announcements can be reused even when the caller hands a
+        re-priced copy of the same sensors (costs always come from the
+        ``sensors`` argument).  An incompatible kernel is silently replaced
+        by a fresh one.
+        """
         for query in queries:
             if not isinstance(query, PointQuery):
                 raise AllocationError(
@@ -57,32 +69,44 @@ class PointProblem:
         check_distinct(queries, sensors)
         sensors = list(sensors)
         n = len(sensors)
-        sensor_xy = np.asarray([(s.location.x, s.location.y) for s in sensors], dtype=float)
-        gamma = np.asarray([s.inaccuracy for s in sensors], dtype=float)
-        trust = np.asarray([s.trust for s in sensors], dtype=float)
+        kernel = ValuationKernel.ensure(kernel, sensors)
 
         groups: dict[tuple[float, float], list[PointQuery]] = {}
         for query in queries:
             groups.setdefault((query.location.x, query.location.y), []).append(query)
         locations = [Location(x, y) for (x, y) in groups]
         location_queries = list(groups.values())
+        row_index = {key: row for row, key in enumerate(groups)}
+        rows_per_query = np.asarray(
+            [row_index[(q.location.x, q.location.y)] for q in queries], dtype=np.intp
+        )
 
-        values = np.zeros((len(locations), n))
-        query_values: dict[str, np.ndarray] = {}
-        for row, (loc, grouped) in enumerate(zip(locations, location_queries)):
-            if n:
-                diff = sensor_xy - np.array([loc.x, loc.y])
-                dist = np.sqrt((diff**2).sum(axis=1))
-            else:
-                dist = np.zeros(0)
-            for query in grouped:
-                quality = (1.0 - gamma) * trust * (1.0 - dist / query.dmax)
-                quality[dist > query.dmax] = 0.0
-                quality[quality < query.theta_min] = 0.0
-                row_values = query.budget * quality
-                query_values[query.query_id] = row_values
-                values[row] += row_values
-        return cls(sensors, locations, location_queries, query_values, values, costs=np.asarray([s.cost for s in sensors], dtype=float))
+        # One broadcasted pass over every (query, sensor) pair — no
+        # per-location Python loop.
+        query_rows = kernel.value_rows(queries)
+        query_values: dict[str, np.ndarray] = {
+            query.query_id: query_rows[i] for i, query in enumerate(queries)
+        }
+        if len(locations) == len(queries):
+            # All locations distinct (the paper's random workloads): the
+            # aggregated matrix IS the per-query matrix.  Copy so later
+            # in-place edits of ``values`` can never corrupt query rows.
+            values = query_rows.copy()
+        else:
+            values = np.zeros((len(locations), n))
+            if queries and n:
+                # Unbuffered accumulation visits queries in input order, so
+                # each location row sums its queries exactly as the
+                # per-location loop used to.
+                np.add.at(values, rows_per_query, query_rows)
+        return cls(
+            sensors,
+            locations,
+            location_queries,
+            query_values,
+            values,
+            costs=np.asarray([s.cost for s in sensors], dtype=float),
+        )
 
     # ------------------------------------------------------------------
     # derived quantities

@@ -1,37 +1,31 @@
-"""Slot-synchronous simulation engines (Section 2.1 / 4.1 protocol).
+"""Thin compatibility wrappers over the unified :class:`SlotEngine`.
 
-Every engine follows the same per-slot cycle:
-
-1. sensors inside the working region announce (location, price);
-2. the slot's queries are produced (new one-shot arrivals; live continuous
-   queries carry over);
-3. the scheduling algorithm under test allocates sensors and settles;
-4. selected sensors record a measurement (lifetime, energy, privacy
-   history) and the world advances one slot.
-
-One engine per experiment family keeps each figure's bench honest and
-small: :class:`OneShotSimulation` (Figures 2-7),
-:class:`LocationMonitoringSimulation` (Figure 8),
-:class:`RegionMonitoringSimulation` (Figure 9) and
-:class:`MixSimulation` (Figure 10).
+The four experiment families (Figures 2-7, 8, 9 and 10) used to each own a
+copy of the slot protocol; they are now declarative configurations of
+:mod:`repro.core.engine` — one engine, different stream/allocation
+compositions.  The classes here keep the historical constructor signatures
+(and seeded behavior) so existing call sites and scripts keep working;
+new code should compose :class:`~repro.core.engine.SlotEngine` directly or
+declare a :class:`~repro.datasets.scenario.ScenarioSpec`.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+from typing import Protocol
 
 import numpy as np
 
-from ..queries import (
-    LocationMonitoringQuery,
-    PointQuery,
-    Query,
-    RegionMonitoringQuery,
+from ..queries import LocationMonitoringQuery, Query, RegionMonitoringQuery
+from ..sensors import SensorFleet
+from .allocation import Allocator
+from .engine import (
+    SlotEngine,
+    location_monitoring_engine,
+    mix_engine,
+    one_shot_engine,
+    region_monitoring_engine,
 )
-from ..sensors import SensorFleet, SensorSnapshot
-from .allocation import AllocationResult, Allocator
-from .baselines import BaselineAllocator
-from .metrics import SimulationSummary, SlotRecord
+from .metrics import SimulationSummary
 from .mix import BaselineMixAllocator, MixAllocator
 from .monitoring import LocationMonitoringController, RegionMonitoringController
 
@@ -50,24 +44,8 @@ class OneShotWorkload(Protocol):
     def generate(self, t: int, rng: np.random.Generator) -> list[Query]: ...
 
 
-def _quality_of(query: Query, value: float) -> float:
-    """Achieved value over the query's reference maximum."""
-    if query.max_value <= 0:
-        return 0.0
-    return value / query.max_value
-
-
 class OneShotSimulation:
-    """Figures 2-7: a stream of one-shot (point or aggregate) queries.
-
-    Args:
-        fleet: the sensor fleet (owns mobility, costs, lifetime).
-        workload: per-slot query generator.
-        allocator: the algorithm under test.
-        rng: drives the workload only — mobility randomness lives in the
-            fleet, so two engines sharing a replayed trace and the same
-            workload seed compare algorithms on identical inputs.
-    """
+    """Figures 2-7: a stream of one-shot (point or aggregate) queries."""
 
     def __init__(
         self,
@@ -80,32 +58,14 @@ class OneShotSimulation:
         self.workload = workload
         self.allocator = allocator
         self.rng = rng
+        self._engine = one_shot_engine(fleet, workload, allocator, rng)
+
+    @property
+    def engine(self) -> SlotEngine:
+        return self._engine
 
     def run(self, n_slots: int) -> SimulationSummary:
-        summary = SimulationSummary()
-        for t in range(n_slots):
-            sensors = self.fleet.announcements()
-            queries = self.workload.generate(t, self.rng)
-            result = self.allocator.allocate(queries, sensors)
-            record = SlotRecord(
-                slot=t,
-                value=result.total_value,
-                cost=result.total_cost,
-                issued=len(queries),
-                answered=result.answered_count(),
-            )
-            for query in queries:
-                if result.is_answered(query.query_id):
-                    value = result.values[query.query_id]
-                    quality = _quality_of(query, value)
-                    record.qualities.append(quality)
-                    label = query.query_type.value
-                    summary.add_quality(label, quality)
-                summary.record_query_outcome(result.query_utility(query.query_id))
-            summary.slots.append(record)
-            self.fleet.record_measurements(list(result.selected))
-            self.fleet.advance()
-        return summary
+        return self._engine.run(n_slots)
 
 
 class LocationMonitoringSimulation:
@@ -128,46 +88,22 @@ class LocationMonitoringSimulation:
         self.workload = workload
         self.point_allocator = point_allocator
         self.rng = rng
-        self.controller = (
-            controller if controller is not None else LocationMonitoringController()
+        self._engine = location_monitoring_engine(
+            fleet, workload, point_allocator, rng, controller=controller
         )
-        self.live: list[LocationMonitoringQuery] = []
+        self._stream = self._engine.stream("location_monitoring")
+        self.controller = self._stream.controller
+
+    @property
+    def engine(self) -> SlotEngine:
+        return self._engine
+
+    @property
+    def live(self) -> list[LocationMonitoringQuery]:
+        return self._stream.live
 
     def run(self, n_slots: int) -> SimulationSummary:
-        summary = SimulationSummary()
-        for t in range(n_slots):
-            self._retire(t, summary)
-            self.live.extend(self.workload.generate(t, self.rng, live_count=len(self.live)))
-            sensors = self.fleet.announcements()
-            children = self.controller.create_point_queries(self.live, t)
-            result = self.point_allocator.allocate(children, sensors)
-            samples, value_delta = self.controller.apply_results(
-                self.live, children, result, t
-            )
-            summary.slots.append(
-                SlotRecord(
-                    slot=t,
-                    value=value_delta,
-                    cost=result.total_cost,
-                    issued=len(children),
-                    answered=result.answered_count(),
-                    extras={"samples": float(samples), "live": float(len(self.live))},
-                )
-            )
-            self.fleet.record_measurements(list(result.selected))
-            self.fleet.advance()
-        self._retire(n_slots + 10**9, summary)  # flush everything at the end
-        return summary
-
-    def _retire(self, t: int, summary: SimulationSummary) -> None:
-        remaining: list[LocationMonitoringQuery] = []
-        for query in self.live:
-            if query.expired(t):
-                summary.add_quality("location_monitoring", query.quality_of_results())
-                summary.record_query_outcome(query.achieved_value() - query.spent)
-            else:
-                remaining.append(query)
-        self.live = remaining
+        return self._engine.run(n_slots)
 
 
 class RegionMonitoringSimulation:
@@ -185,50 +121,22 @@ class RegionMonitoringSimulation:
         self.workload = workload
         self.point_allocator = point_allocator
         self.rng = rng
-        self.controller = (
-            controller if controller is not None else RegionMonitoringController()
+        self._engine = region_monitoring_engine(
+            fleet, workload, point_allocator, rng, controller=controller
         )
-        self.live: list[RegionMonitoringQuery] = []
+        self._stream = self._engine.stream("region_monitoring")
+        self.controller = self._stream.controller
+
+    @property
+    def engine(self) -> SlotEngine:
+        return self._engine
+
+    @property
+    def live(self) -> list[RegionMonitoringQuery]:
+        return self._stream.live
 
     def run(self, n_slots: int) -> SimulationSummary:
-        summary = SimulationSummary()
-        for t in range(n_slots):
-            self._retire(t, summary)
-            self.live.extend(self.workload.generate(t, self.rng))
-            sensors = self.fleet.announcements()
-            children, plans = self.controller.create_point_queries(
-                self.live, sensors, t
-            )
-            result = self.point_allocator.allocate(children, sensors)
-            outcomes = self.controller.apply_results(
-                self.live, children, plans, result, t
-            )
-            self.controller.adjust_payments(result, outcomes)
-            achieved = sum(o.achieved_value for o in outcomes)
-            summary.slots.append(
-                SlotRecord(
-                    slot=t,
-                    value=achieved,
-                    cost=result.total_cost,
-                    issued=len(children),
-                    answered=result.answered_count(),
-                    extras={"live": float(len(self.live))},
-                )
-            )
-            self.fleet.record_measurements(list(result.selected))
-            self.fleet.advance()
-        self._retire(n_slots + 10**9, summary)
-        return summary
-
-    def _retire(self, t: int, summary: SimulationSummary) -> None:
-        remaining: list[RegionMonitoringQuery] = []
-        for query in self.live:
-            if query.expired(t):
-                summary.add_quality("region_monitoring", query.quality_of_results())
-                summary.record_query_outcome(query.total_value() - query.spent)
-            else:
-                remaining.append(query)
-        self.live = remaining
+        return self._engine.run(n_slots)
 
 
 class MixSimulation:
@@ -257,63 +165,63 @@ class MixSimulation:
         self.region_workload = region_workload
         self.mix = mix
         self.rng = rng
-        self.live_lm: list[LocationMonitoringQuery] = []
-        self.live_rm: list[RegionMonitoringQuery] = []
+        # The wrapper decomposes the mix allocator into engine streams and a
+        # slot-allocation strategy — a custom ``allocate_slot`` override
+        # would be silently bypassed, so refuse it loudly.
+        overridden = (
+            isinstance(mix, MixAllocator)
+            and type(mix).allocate_slot is not MixAllocator.allocate_slot
+        ) or (
+            isinstance(mix, BaselineMixAllocator)
+            and type(mix).allocate_slot is not BaselineMixAllocator.allocate_slot
+        )
+        if overridden or not isinstance(mix, (MixAllocator, BaselineMixAllocator)):
+            raise TypeError(
+                "MixSimulation supports the stock MixAllocator / "
+                "BaselineMixAllocator configurations; for a custom slot "
+                "pipeline compose repro.core.SlotEngine (mix_engine) with "
+                "your own SlotAllocation strategy instead"
+            )
+        if isinstance(mix, BaselineMixAllocator):
+            self._engine = mix_engine(
+                fleet,
+                point_workload,
+                aggregate_workload,
+                location_workload,
+                rng,
+                region_workload=region_workload,
+                lm_controller=mix.lm_controller,
+                rm_controller=mix.rm_controller,
+                sequential=True,
+                stage1_allocator=mix.aggregate_stage,
+                stage2_allocator=mix.point_stage,
+            )
+        else:
+            self._engine = mix_engine(
+                fleet,
+                point_workload,
+                aggregate_workload,
+                location_workload,
+                rng,
+                region_workload=region_workload,
+                joint=mix.joint,
+                lm_controller=mix.lm_controller,
+                rm_controller=mix.rm_controller,
+            )
+
+    @property
+    def engine(self) -> SlotEngine:
+        return self._engine
+
+    @property
+    def live_lm(self) -> list[LocationMonitoringQuery]:
+        return self._engine.stream("location_monitoring").live
+
+    @property
+    def live_rm(self) -> list[RegionMonitoringQuery]:
+        if self.region_workload is None:
+            return []
+        return self._engine.stream("region_monitoring").live
 
     def run(self, n_slots: int) -> SimulationSummary:
-        summary = SimulationSummary()
-        for t in range(n_slots):
-            self._retire(t, summary)
-            points: list[PointQuery] = self.point_workload.generate(t, self.rng)
-            aggregates = self.aggregate_workload.generate(t, self.rng)
-            self.live_lm.extend(
-                self.location_workload.generate(t, self.rng, live_count=len(self.live_lm))
-            )
-            if self.region_workload is not None:
-                self.live_rm.extend(self.region_workload.generate(t, self.rng))
-            sensors = self.fleet.announcements()
-            outcome = self.mix.allocate_slot(
-                t, points, aggregates, self.live_lm, self.live_rm, sensors
-            )
-            result = outcome.result
-            record = SlotRecord(
-                slot=t,
-                value=outcome.total_utility + result.total_cost,
-                cost=result.total_cost,
-                issued=len(points),
-                extras={"lm_samples": float(outcome.lm_samples)},
-            )
-            for query in points:
-                if result.is_answered(query.query_id):
-                    record.answered += 1
-                    quality = _quality_of(query, result.values[query.query_id])
-                    summary.add_quality("point", quality)
-                summary.record_query_outcome(result.query_utility(query.query_id))
-            for query in aggregates:
-                if result.is_answered(query.query_id):
-                    quality = _quality_of(query, result.values[query.query_id])
-                    summary.add_quality("aggregate", quality)
-                summary.record_query_outcome(result.query_utility(query.query_id))
-            summary.slots.append(record)
-            self.fleet.record_measurements(list(result.selected))
-            self.fleet.advance()
-        self._retire(n_slots + 10**9, summary)
-        return summary
-
-    def _retire(self, t: int, summary: SimulationSummary) -> None:
-        live: list[LocationMonitoringQuery] = []
-        for query in self.live_lm:
-            if query.expired(t):
-                summary.add_quality("location_monitoring", query.quality_of_results())
-                summary.record_query_outcome(query.achieved_value() - query.spent)
-            else:
-                live.append(query)
-        self.live_lm = live
-        live_rm: list[RegionMonitoringQuery] = []
-        for query in self.live_rm:
-            if query.expired(t):
-                summary.add_quality("region_monitoring", query.quality_of_results())
-                summary.record_query_outcome(query.total_value() - query.spent)
-            else:
-                live_rm.append(query)
-        self.live_rm = live_rm
+        return self._engine.run(n_slots)

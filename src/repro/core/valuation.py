@@ -1,0 +1,225 @@
+"""Vectorized point-query valuation — the slot's shared hot path.
+
+Every point-query consumer — the BILP/local-search value matrix (eq. 9/12),
+the greedy/baseline relevance prefilter (the paper's ``Q_{l_s}``), and the
+monitoring controllers' derived queries — ultimately evaluates eq. (3)/(4)
+for query×sensor pairs.  The seed implementation rebuilt those values with a
+per-location Python loop inside every allocator call; at paper scale
+(hundreds of queries × hundreds of sensors, every slot, every algorithm in
+a sweep) that loop dominates the profile.
+
+:class:`ValuationKernel` stacks one slot's announcements once (coordinates,
+inaccuracy ``gamma``, trust ``tau``) and computes the full query×sensor
+value matrix in a single broadcasted pass.  The engine builds one kernel
+per slot and hands it to whatever allocator runs, so the stacked arrays are
+shared across :class:`~repro.core.point_problem.PointProblem`, the query-mix
+pipeline and the monitoring controllers instead of being reassembled per
+call.
+
+Two numerical paths coexist in the codebase and the kernel reproduces each
+bit-for-bit so that refactored callers keep their exact seed behavior:
+
+* the *matrix* path (``value_rows``) mirrors the dense-matrix construction
+  historically inlined in ``PointProblem.build``: distances via
+  ``sqrt(dx^2 + dy^2)`` and quality ``((1-gamma)*tau) * (1 - d/dmax)``;
+* the *scalar* path (``single_values`` / ``relevance``) mirrors
+  :func:`repro.queries.point.reading_quality`: distances via ``hypot`` and
+  quality ``((1-gamma) * (1 - d/dmax)) * tau``.  (``np.hypot`` delegates to
+  libm while ``math.hypot`` uses CPython's own algorithm, so this path can
+  differ from the scalar original in the final ulp — irrelevant unless an
+  instance is engineered to sit within one rounding step of a threshold.)
+
+The paths differ from each other only in the last ulps, but allocators
+compare against sharp thresholds (``theta_min``, ``> 0``), so each consumer
+keeps its historical formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..queries import PointQuery
+from ..sensors import SensorSnapshot
+
+__all__ = ["ValuationKernel"]
+
+
+def _stack_queries(
+    queries: Sequence[PointQuery],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    q = len(queries)
+    xy = np.empty((q, 2), dtype=float)
+    budgets = np.empty(q, dtype=float)
+    theta_mins = np.empty(q, dtype=float)
+    dmaxes = np.empty(q, dtype=float)
+    for i, query in enumerate(queries):
+        xy[i, 0] = query.location.x
+        xy[i, 1] = query.location.y
+        budgets[i] = query.budget
+        theta_mins[i] = query.theta_min
+        dmaxes[i] = query.dmax
+    return xy, budgets, theta_mins, dmaxes
+
+
+@dataclass
+class ValuationKernel:
+    """One slot's announcements, stacked for broadcasted valuation.
+
+    Attributes:
+        sensors: the announcements, defining the column order of every
+            matrix the kernel produces.
+        sensor_xy: ``(n, 2)`` sensor coordinates.
+        gamma: per-sensor inaccuracy ``gamma_s``.
+        trust: per-sensor trust ``tau_s``.
+        costs: announced costs ``c_s`` (snapshot convenience only — value
+            matrices never depend on cost, which is what lets a kernel be
+            reused across re-announcements that change prices only, e.g.
+            the sequential baseline's zero-cost buffering stage).
+    """
+
+    sensors: list[SensorSnapshot]
+    sensor_xy: np.ndarray
+    gamma: np.ndarray
+    trust: np.ndarray
+    costs: np.ndarray
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sensors(cls, sensors: Sequence[SensorSnapshot]) -> "ValuationKernel":
+        sensors = list(sensors)
+        n = len(sensors)
+        xy = np.empty((n, 2), dtype=float)
+        gamma = np.empty(n, dtype=float)
+        trust = np.empty(n, dtype=float)
+        costs = np.empty(n, dtype=float)
+        for j, snapshot in enumerate(sensors):
+            xy[j, 0] = snapshot.location.x
+            xy[j, 1] = snapshot.location.y
+            gamma[j] = snapshot.inaccuracy
+            trust[j] = snapshot.trust
+            costs[j] = snapshot.cost
+        return cls(sensors, xy, gamma, trust, costs)
+
+    @classmethod
+    def ensure(
+        cls,
+        kernel: "ValuationKernel | None",
+        sensors: Sequence[SensorSnapshot],
+    ) -> "ValuationKernel":
+        """Reuse ``kernel`` when it covers exactly ``sensors``, else build.
+
+        Compatibility means identical sensor ids, positions, inaccuracy and
+        trust in identical column order; announced costs may differ (the
+        sequential mix baseline re-announces stage-1 sensors at zero cost
+        without invalidating the value matrices).
+        """
+        if kernel is not None and kernel.matches(sensors):
+            return kernel
+        return cls.from_sensors(sensors)
+
+    def matches(self, sensors: Sequence[SensorSnapshot]) -> bool:
+        if len(sensors) != len(self.sensors):
+            return False
+        for j, snapshot in enumerate(sensors):
+            mine = self.sensors[j]
+            if (
+                snapshot.sensor_id != mine.sensor_id
+                or snapshot.location.x != mine.location.x
+                or snapshot.location.y != mine.location.y
+                or snapshot.inaccuracy != mine.inaccuracy
+                or snapshot.trust != mine.trust
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def n_sensors(self) -> int:
+        return len(self.sensors)
+
+    # ------------------------------------------------------------------
+    # the matrix path (eq. 9/12 consumers: PointProblem, BILP, local search)
+    # ------------------------------------------------------------------
+    def value_rows(self, queries: Sequence[PointQuery]) -> np.ndarray:
+        """Per-query value rows ``V[i, j] = v_{q_i}(s_j)`` in one pass.
+
+        Replicates the historical ``PointProblem.build`` arithmetic exactly
+        (including operation order, for bit-stable refactoring): distance by
+        ``sqrt(dx^2+dy^2)``, quality ``((1-gamma)*tau) * (1 - d/dmax)``,
+        zeroed beyond ``dmax`` and below ``theta_min``, scaled by budget.
+        """
+        xy, budgets, theta_mins, dmaxes = _stack_queries(queries)
+        return self.value_matrix(xy, budgets, theta_mins, dmaxes)
+
+    def value_matrix(
+        self,
+        query_xy: np.ndarray,
+        budgets: np.ndarray,
+        theta_mins: np.ndarray,
+        dmaxes: np.ndarray,
+    ) -> np.ndarray:
+        """Raw-array form of :meth:`value_rows` for pre-stacked workloads.
+
+        Written with explicit per-component temporaries and in-place ops:
+        the naive ``(q, n, 2)`` difference tensor triples the memory
+        traffic of this (memory-bound) pass.  Every element still goes
+        through exactly the historical operation sequence
+        ``sqrt(dx^2 + dy^2)`` then ``((1-gamma)*tau) * (1 - d/dmax)``, so
+        results stay bit-identical to the seed loop.
+        """
+        q = len(query_xy)
+        n = self.n_sensors
+        if q == 0 or n == 0:
+            return np.zeros((q, n))
+        dx = self.sensor_xy[:, 0][None, :] - query_xy[:, 0][:, None]
+        np.multiply(dx, dx, out=dx)
+        dy = self.sensor_xy[:, 1][None, :] - query_xy[:, 1][:, None]
+        np.multiply(dy, dy, out=dy)
+        dist = dx
+        dist += dy
+        np.sqrt(dist, out=dist)
+        dmax_col = dmaxes[:, None]
+        quality = dist / dmax_col
+        np.subtract(1.0, quality, out=quality)
+        np.multiply(((1.0 - self.gamma) * self.trust)[None, :], quality, out=quality)
+        quality[dist > dmax_col] = 0.0
+        quality[quality < theta_mins[:, None]] = 0.0
+        np.multiply(budgets[:, None], quality, out=quality)
+        return quality
+
+    # ------------------------------------------------------------------
+    # the scalar-compatible path (eq. 3 consumers: greedy/baseline prefilter)
+    # ------------------------------------------------------------------
+    def single_values(self, queries: Sequence[PointQuery]) -> np.ndarray:
+        """``V[i, j] = PointQuery.value_single`` for every pair, vectorized.
+
+        Bit-compatible with :func:`repro.queries.point.reading_quality`:
+        distance via ``hypot`` and multiplication order
+        ``((1-gamma) * (1 - d/dmax)) * tau``, then the ``theta >= theta_min``
+        cutoff and the budget scaling of eq. (3).
+        """
+        xy, budgets, theta_mins, dmaxes = _stack_queries(queries)
+        q, n = len(xy), self.n_sensors
+        if q == 0 or n == 0:
+            return np.zeros((q, n))
+        dist = np.hypot(
+            self.sensor_xy[None, :, 0] - xy[:, None, 0],
+            self.sensor_xy[None, :, 1] - xy[:, None, 1],
+        )
+        theta = (1.0 - self.gamma)[None, :] * (1.0 - dist / dmaxes[:, None])
+        theta *= self.trust[None, :]
+        theta[dist > dmaxes[:, None]] = 0.0
+        values = budgets[:, None] * theta
+        values[theta < theta_mins[:, None]] = 0.0
+        return values
+
+    def relevance(self, queries: Sequence[PointQuery]) -> np.ndarray:
+        """Boolean ``(q, n)`` matrix of ``PointQuery.relevant`` (value > 0)."""
+        return self.single_values(queries) > 0.0

@@ -4,10 +4,12 @@ from .intel import IntelScenario, build_intel_scenario
 from .ozone import OzoneDataset, build_ozone_dataset
 from .rnc import build_rnc_scenario
 from .rwm import RWM_REGION, RWM_WORKING_REGION, build_rwm_scenario
-from .scenario import Scenario
+from .scenario import Scenario, ScenarioSpec, StreamSpec
 
 __all__ = [
     "Scenario",
+    "ScenarioSpec",
+    "StreamSpec",
     "build_rwm_scenario",
     "build_rnc_scenario",
     "build_intel_scenario",

@@ -1,15 +1,26 @@
-"""Scenario: a reproducible world for algorithm comparison.
+"""Scenarios: reproducible worlds, and the declarative spec layer.
 
 The paper compares algorithms on *identical* inputs — same mobility, same
 sensor attributes, same query stream.  A :class:`Scenario` freezes the
 mobility into a replayable trace and pins the fleet seed, so
 :meth:`Scenario.make_fleet` hands every algorithm an indistinguishable
 fresh copy of the world.
+
+:class:`ScenarioSpec` sits on top: a JSON-serializable declaration of an
+arbitrary experiment — which dataset/world, which query streams (any mix
+of point, aggregate, location-monitoring and region-monitoring workloads),
+which allocator and slot-allocation strategy — that compiles to a
+:class:`~repro.core.engine.SlotEngine`.  The paper's four fixed figure
+families become four entries in this space; the CLI (``repro scenario``)
+runs any of them from a file.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -17,7 +28,7 @@ from ..mobility import MobilityTrace, TraceMobility
 from ..sensors import FleetConfig, SensorFleet
 from ..spatial import Region
 
-__all__ = ["Scenario"]
+__all__ = ["Scenario", "StreamSpec", "ScenarioSpec"]
 
 
 @dataclass(frozen=True)
@@ -60,3 +71,328 @@ class Scenario:
     def with_config(self, fleet_config: FleetConfig) -> "Scenario":
         """Same world, different sensor economics (Figure 6 variations)."""
         return replace(self, fleet_config=fleet_config)
+
+
+# ----------------------------------------------------------------------
+# declarative scenario specs
+# ----------------------------------------------------------------------
+#: stream kind -> allocation rank reproducing Algorithm 5's input order
+#: (aggregates, then points, then monitoring-derived children).
+_STREAM_RANKS = {
+    "aggregate": 0,
+    "point": 1,
+    "location_monitoring": 2,
+    "region_monitoring": 3,
+}
+
+_ALLOCATORS = ("optimal", "local_search", "randomized_local_search", "greedy", "baseline")
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One query stream of a scenario.
+
+    Attributes:
+        kind: ``point`` | ``aggregate`` | ``location_monitoring`` |
+            ``region_monitoring``.
+        params: workload constructor overrides (e.g. ``n_queries``,
+            ``budget``, ``budget_factor``, ``arrivals_per_slot``); the
+            world's region and ``dmax`` are filled in automatically.
+        controller: monitoring-controller overrides (e.g. ``alpha``,
+            ``opportunistic``, ``scheduled_only``, ``use_shared_sensors``,
+            ``paper_weighting``); ignored for one-shot kinds.
+    """
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+    controller: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _STREAM_RANKS:
+            raise ValueError(
+                f"unknown stream kind {self.kind!r}; choose from "
+                f"{sorted(_STREAM_RANKS)}"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any] | str) -> "StreamSpec":
+        if isinstance(payload, str):
+            return cls(kind=payload)
+        extra = set(payload) - {"kind", "params", "controller"}
+        if extra:
+            raise ValueError(f"unknown StreamSpec fields: {sorted(extra)}")
+        return cls(
+            kind=payload["kind"],
+            params=dict(payload.get("params", {})),
+            controller=dict(payload.get("controller", {})),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind}
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.controller:
+            out["controller"] = dict(self.controller)
+        return out
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, declarable experiment: world + streams + allocation.
+
+    Compiles to a :class:`~repro.core.engine.SlotEngine` via :meth:`build`;
+    :meth:`run` builds and runs it.  Everything is JSON round-trippable
+    (:meth:`from_json` / :meth:`to_dict`), which is what the
+    ``repro scenario`` CLI consumes.
+
+    Attributes:
+        name: free-form label.
+        dataset: ``rwm`` | ``rnc`` | ``intel`` (region-monitoring streams
+            need ``intel`` — the only world with a learned GP field).
+        seed: world seed (trace + fleet attributes).
+        workload_seed: seed of the shared workload rng (defaults to
+            ``seed + 17`` at build time when left ``None``).
+        n_sensors / n_slots / rnc_presence: world sizing.
+        allocator: ``optimal`` | ``local_search`` |
+            ``randomized_local_search`` | ``greedy`` | ``baseline``.
+        allocation: ``joint`` (one allocator call over every emitted query)
+            or ``sequential`` (the Section 4.7 buffered baseline).
+        streams: the query streams; order fixes workload rng consumption.
+        fleet: :class:`~repro.sensors.FleetConfig` overrides (JSON-able
+            fields only, e.g. ``lifetime``, ``linear_energy``).
+    """
+
+    name: str
+    dataset: str = "rwm"
+    seed: int = 2013
+    workload_seed: int | None = None
+    n_sensors: int = 100
+    n_slots: int = 10
+    rnc_presence: float = 30.0
+    allocator: str = "greedy"
+    allocation: str = "joint"
+    streams: tuple[StreamSpec, ...] = (StreamSpec("point"),)
+    fleet: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.dataset not in ("rwm", "rnc", "intel"):
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+        if self.allocator not in _ALLOCATORS:
+            raise ValueError(
+                f"unknown allocator {self.allocator!r}; choose from {_ALLOCATORS}"
+            )
+        if self.allocation not in ("joint", "sequential"):
+            raise ValueError(f"unknown allocation {self.allocation!r}")
+        if not self.streams:
+            raise ValueError("a scenario needs at least one stream")
+        if self.n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        # Cross-field: the BILP/local-search allocators schedule single-sensor
+        # point queries only (monitoring streams qualify — they emit derived
+        # point queries); reject incompatible combinations at declaration
+        # time instead of deep inside the first slot.
+        point_only = ("optimal", "local_search", "randomized_local_search")
+        if self.allocator in point_only and any(
+            s.kind == "aggregate" for s in self.streams
+        ):
+            raise ValueError(
+                f"allocator {self.allocator!r} handles point queries only; "
+                f"aggregate streams need 'greedy' or 'baseline'"
+            )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ScenarioSpec":
+        payload = dict(payload)
+        streams = tuple(
+            StreamSpec.from_dict(s) for s in payload.pop("streams", [{"kind": "point"}])
+        )
+        known = {
+            "name", "dataset", "seed", "workload_seed", "n_sensors", "n_slots",
+            "rnc_presence", "allocator", "allocation", "fleet",
+        }
+        extra = set(payload) - known
+        if extra:
+            raise ValueError(f"unknown ScenarioSpec fields: {sorted(extra)}")
+        return cls(streams=streams, **payload)
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "n_sensors": self.n_sensors,
+            "n_slots": self.n_slots,
+            "allocator": self.allocator,
+            "allocation": self.allocation,
+            "streams": [s.to_dict() for s in self.streams],
+        }
+        if self.workload_seed is not None:
+            out["workload_seed"] = self.workload_seed
+        if self.dataset == "rnc":
+            out["rnc_presence"] = self.rnc_presence
+        if self.fleet:
+            out["fleet"] = dict(self.fleet)
+        return out
+
+    @classmethod
+    def example(cls) -> "ScenarioSpec":
+        """A ready-to-run mixed-workload demo (also shown by the CLI)."""
+        return cls(
+            name="mixed-city-demo",
+            dataset="rwm",
+            seed=2013,
+            n_sensors=80,
+            n_slots=8,
+            allocator="greedy",
+            streams=(
+                StreamSpec("point", params={"n_queries": 40, "budget": 15.0}),
+                StreamSpec("aggregate", params={"mean_queries": 5, "count_spread": 2}),
+                StreamSpec(
+                    "location_monitoring",
+                    params={"max_live": 10, "arrivals_per_slot": 3},
+                ),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def build(self):
+        """Compile the spec into a ready-to-run ``SlotEngine``."""
+        from ..core import engine as _engine
+        from ..core.baselines import BaselineAllocator
+        from ..core.greedy import GreedyAllocator
+        from ..core.local_search import (
+            LocalSearchPointAllocator,
+            RandomizedLocalSearchAllocator,
+        )
+        from ..core.monitoring import (
+            LocationMonitoringController,
+            RegionMonitoringController,
+        )
+        from ..core.optimal import OptimalPointAllocator
+        from ..core.sampling import paper_weight_function
+        from ..queries import (
+            AggregateQueryWorkload,
+            LocationMonitoringWorkload,
+            PointQueryWorkload,
+            RegionMonitoringWorkload,
+        )
+        from .intel import build_intel_scenario
+        from .ozone import build_ozone_dataset
+        from .rnc import build_rnc_scenario
+        from .rwm import build_rwm_scenario
+
+        fleet_config = FleetConfig(**self.fleet) if self.fleet else None
+        gp = None
+        if self.dataset == "rwm":
+            scenario = build_rwm_scenario(
+                self.seed, self.n_sensors, self.n_slots, fleet_config=fleet_config
+            )
+        elif self.dataset == "rnc":
+            scenario = build_rnc_scenario(
+                self.seed, self.n_sensors, self.rnc_presence, self.n_slots,
+                fleet_config=fleet_config,
+            )
+        else:
+            world = build_intel_scenario(
+                self.seed, self.n_sensors, self.n_slots, fleet_config=fleet_config
+            )
+            scenario, gp = world.scenario, world.gp
+
+        region = scenario.working_region
+        ozone = None
+
+        streams: list = []
+        for spec in self.streams:
+            rank = _STREAM_RANKS[spec.kind]
+            if spec.kind == "point":
+                workload = PointQueryWorkload(
+                    region, **{"dmax": scenario.dmax, **spec.params}
+                )
+                streams.append(
+                    _engine.OneShotStream(
+                        workload, kind="point", allocation_rank=rank,
+                        quality_label="point",
+                    )
+                )
+            elif spec.kind == "aggregate":
+                workload = AggregateQueryWorkload(
+                    region, **{"sensing_range": scenario.dmax, **spec.params}
+                )
+                streams.append(
+                    _engine.OneShotStream(
+                        workload, kind="aggregate", allocation_rank=rank,
+                        quality_label="aggregate",
+                    )
+                )
+            elif spec.kind == "location_monitoring":
+                if ozone is None:
+                    ozone = build_ozone_dataset(self.seed, n_slots=max(50, self.n_slots))
+                workload = LocationMonitoringWorkload(
+                    region, ozone.values, ozone.model(),
+                    **{"dmax": scenario.dmax, **spec.params},
+                )
+                options = dict(spec.controller)
+                controller = LocationMonitoringController(**options)
+                streams.append(
+                    _engine.LocationMonitoringStream(
+                        workload, controller=controller, allocation_rank=rank
+                    )
+                )
+            else:  # region_monitoring
+                if gp is None:
+                    raise ValueError(
+                        "region_monitoring streams need the 'intel' dataset "
+                        "(the only world with a learned GP field)"
+                    )
+                workload = RegionMonitoringWorkload(
+                    region, gp, **{"sensing_radius": scenario.dmax, **spec.params}
+                )
+                options = dict(spec.controller)
+                if not options.pop("paper_weighting", True):
+                    options["weight_fn"] = lambda k: 1.0
+                else:
+                    options.setdefault("weight_fn", paper_weight_function)
+                controller = RegionMonitoringController(**options)
+                streams.append(
+                    _engine.RegionMonitoringStream(
+                        workload, controller=controller, allocation_rank=rank
+                    )
+                )
+
+        factories = {
+            "optimal": OptimalPointAllocator,
+            "local_search": LocalSearchPointAllocator,
+            "randomized_local_search": RandomizedLocalSearchAllocator,
+            "greedy": GreedyAllocator,
+            "baseline": BaselineAllocator,
+        }
+        if self.allocation == "sequential":
+            allocation = _engine.SequentialBufferedAllocation(
+                factories[self.allocator](), factories[self.allocator]()
+            )
+        else:
+            allocation = _engine.JointSlotAllocation(factories[self.allocator]())
+
+        workload_seed = (
+            self.workload_seed if self.workload_seed is not None else self.seed + 17
+        )
+        return _engine.SlotEngine(
+            scenario.make_fleet(),
+            streams,
+            allocation,
+            np.random.default_rng(workload_seed),
+            verify_each_slot=len(streams) > 1,
+        )
+
+    def run(self, n_slots: int | None = None):
+        """Build the engine and run it (default: the spec's ``n_slots``)."""
+        return self.build().run(n_slots if n_slots is not None else self.n_slots)

@@ -16,7 +16,7 @@ from .figures import (
 )
 from .reporting import ascii_chart, format_figure, format_metric_table
 from .robustness import ReplicatedResult, ordering_robustness, replicate
-from .runner import FigureResult, SeriesCollector
+from .runner import FigureResult, SeriesCollector, compare_scenarios, summary_metric
 from .validation import CHECKLISTS, CheckResult, validate_figure
 
 __all__ = [
@@ -26,6 +26,8 @@ __all__ = [
     "get_scale",
     "FigureResult",
     "SeriesCollector",
+    "compare_scenarios",
+    "summary_metric",
     "format_figure",
     "format_metric_table",
     "ascii_chart",

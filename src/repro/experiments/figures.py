@@ -13,17 +13,15 @@ import numpy as np
 
 from ..core import (
     BaselineAllocator,
-    BaselineMixAllocator,
     GreedyAllocator,
     LocalSearchPointAllocator,
     LocationMonitoringController,
-    LocationMonitoringSimulation,
-    MixAllocator,
-    MixSimulation,
-    OneShotSimulation,
     OptimalPointAllocator,
     RegionMonitoringController,
-    RegionMonitoringSimulation,
+    location_monitoring_engine,
+    mix_engine,
+    one_shot_engine,
+    region_monitoring_engine,
 )
 from ..datasets import (
     build_intel_scenario,
@@ -84,13 +82,13 @@ def _point_sweep(
                     budget_spread=budget_spread,
                     dmax=scenario.dmax,
                 )
-                sim = OneShotSimulation(
+                engine = one_shot_engine(
                     scenario.make_fleet(),
                     workload,
                     factory(),
                     np.random.default_rng(seed + int(budget * 10)),
                 )
-                summary = sim.run(scale.n_slots)
+                summary = engine.run(scale.n_slots)
                 fig.add(name, "avg_utility", summary.average_utility)
                 fig.add(name, "satisfaction_ratio", summary.satisfaction_ratio)
     return fig
@@ -151,13 +149,13 @@ def fig5(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
                     budget=15.0,
                     dmax=scenario.dmax,
                 )
-                sim = OneShotSimulation(
+                engine = one_shot_engine(
                     scenario.make_fleet(),
                     workload,
                     factory(),
                     np.random.default_rng(seed + count),
                 )
-                summary = sim.run(scale.n_slots)
+                summary = engine.run(scale.n_slots)
                 fig.add(name, "avg_utility", summary.average_utility)
                 fig.add(name, "satisfaction_ratio", summary.satisfaction_ratio)
     return fig
@@ -196,13 +194,13 @@ def fig6(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
                         budget=float(budget),
                         dmax=scenario.dmax,
                     )
-                    sim = OneShotSimulation(
+                    engine = one_shot_engine(
                         scenario.make_fleet(),
                         workload,
                         factory(),
                         np.random.default_rng(seed + int(budget * 10)),
                     )
-                    summary = sim.run(scale.n_slots)
+                    summary = engine.run(scale.n_slots)
                     fig.add(name, f"avg_utility_l{lifetime}", summary.average_utility)
                     fig.add(
                         name,
@@ -231,13 +229,13 @@ def fig7(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
                     count_spread=min(10, scale.aggregate_mean_queries - 1),
                     sensing_range=scenario.dmax,
                 )
-                sim = OneShotSimulation(
+                engine = one_shot_engine(
                     scenario.make_fleet(),
                     workload,
                     factory(),
                     np.random.default_rng(seed + int(factor * 10)),
                 )
-                summary = sim.run(scale.n_slots)
+                summary = engine.run(scale.n_slots)
                 fig.add(name, "avg_utility", summary.average_utility)
                 fig.add(name, "avg_quality", summary.average_quality("aggregate"))
     return fig
@@ -277,14 +275,14 @@ def fig8(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
                     opportunistic=controller_proto.opportunistic,
                     scheduled_only=controller_proto.scheduled_only,
                 )
-                sim = LocationMonitoringSimulation(
+                engine = location_monitoring_engine(
                     scenario.make_fleet(),
                     workload,
                     alloc_factory(),
                     np.random.default_rng(seed + int(factor * 10)),
                     controller=controller,
                 )
-                summary = sim.run(scale.n_slots)
+                summary = engine.run(scale.n_slots)
                 fig.add(name, "avg_utility", summary.average_utility)
                 fig.add(
                     name, "avg_quality", summary.average_quality("location_monitoring")
@@ -321,14 +319,14 @@ def fig9(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
                     weight_fn=controller_proto.weight_fn,
                     use_shared_sensors=controller_proto.use_shared_sensors,
                 )
-                sim = RegionMonitoringSimulation(
+                engine = region_monitoring_engine(
                     world.scenario.make_fleet(),
                     workload,
                     alloc_factory(),
                     np.random.default_rng(seed + int(factor * 10)),
                     controller=controller,
                 )
-                summary = sim.run(scale.n_slots)
+                summary = engine.run(scale.n_slots)
                 fig.add(name, "avg_utility", summary.average_utility)
                 fig.add(
                     name, "avg_quality", summary.average_quality("region_monitoring")
@@ -351,12 +349,23 @@ def fig10(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResul
         seed, scale.rnc_sensors, scale.rnc_presence, scale.n_slots, fleet_config=config
     )
     ozone = build_ozone_dataset(seed, n_slots=max(50, scale.n_slots))
-    variants = {"Alg5": MixAllocator, "Baseline": BaselineMixAllocator}
+    variants = {
+        "Alg5": {},
+        "Baseline": {
+            "sequential": True,
+            "lm_controller": LocationMonitoringController(
+                opportunistic=False, scheduled_only=True
+            ),
+            "rm_controller": RegionMonitoringController(
+                weight_fn=lambda k: 1.0, use_shared_sensors=False
+            ),
+        },
+    }
     figure = FigureResult("fig10", "Query mix, RNC", "budget factor")
     with SeriesCollector(figure) as fig:
         fig.x_values = list(scale.mix_budget_factors)
         for factor in scale.mix_budget_factors:
-            for name, mix_factory in variants.items():
+            for name, mix_options in variants.items():
                 point_wl = PointQueryWorkload(
                     scenario.working_region,
                     n_queries=scale.point_queries_per_slot,
@@ -379,15 +388,15 @@ def fig10(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResul
                     arrivals_per_slot=scale.lm_arrivals_per_slot,
                     dmax=scenario.dmax,
                 )
-                sim = MixSimulation(
+                engine = mix_engine(
                     scenario.make_fleet(),
                     point_wl,
                     agg_wl,
                     lm_wl,
-                    mix_factory(),
                     np.random.default_rng(seed + int(factor * 10)),
+                    **mix_options,
                 )
-                summary = sim.run(scale.n_slots)
+                summary = engine.run(scale.n_slots)
                 fig.add(name, "avg_utility", summary.average_utility)
                 fig.add(name, "quality_point", summary.average_quality("point"))
                 fig.add(name, "quality_aggregate", summary.average_quality("aggregate"))
@@ -424,13 +433,13 @@ def trust_sweep(scale: ExperimentScale | None = None, seed: int = 2013) -> Figur
                 budget=15.0,
                 dmax=scenario.dmax,
             )
-            sim = OneShotSimulation(
+            engine = one_shot_engine(
                 scenario.make_fleet(),
                 workload,
                 LocalSearchPointAllocator(),
                 np.random.default_rng(seed),
             )
-            summary = sim.run(scale.n_slots)
+            summary = engine.run(scale.n_slots)
             fig.add(name, "avg_utility", summary.average_utility)
             fig.add(name, "satisfaction_ratio", summary.satisfaction_ratio)
     return fig

@@ -4,8 +4,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
-__all__ = ["FigureResult", "SeriesCollector"]
+__all__ = [
+    "FigureResult",
+    "SeriesCollector",
+    "summary_metric",
+    "compare_scenarios",
+]
 
 
 @dataclass
@@ -67,3 +73,45 @@ class SeriesCollector:
 
     def __exit__(self, *exc) -> None:
         self.figure.elapsed_seconds = time.perf_counter() - self._start
+
+
+def summary_metric(summary, name: str) -> float:
+    """Resolve a metric name against a :class:`SimulationSummary`.
+
+    Recognized: ``avg_utility``, ``total_utility``, ``satisfaction_ratio``,
+    ``egalitarian_ratio`` and ``quality:<label>`` (e.g. ``quality:point``).
+    """
+    if name == "avg_utility":
+        return summary.average_utility
+    if name == "total_utility":
+        return summary.total_utility
+    if name == "satisfaction_ratio":
+        return summary.satisfaction_ratio
+    if name == "egalitarian_ratio":
+        return summary.egalitarian_ratio
+    if name.startswith("quality:"):
+        return summary.average_quality(name.split(":", 1)[1])
+    raise ValueError(f"unknown summary metric {name!r}")
+
+
+def compare_scenarios(
+    specs: Sequence,
+    n_slots: int | None = None,
+    metrics: Sequence[str] = ("avg_utility", "satisfaction_ratio"),
+) -> FigureResult:
+    """Run a batch of :class:`~repro.datasets.ScenarioSpec` and tabulate.
+
+    Each spec becomes one series (keyed by its ``name``) with a single x
+    point per run — the declarative counterpart of the hand-written figure
+    sweeps, usable straight from the CLI or a notebook.
+    """
+    figure = FigureResult(
+        "scenarios", "Declared scenario comparison", "run"
+    )
+    with SeriesCollector(figure) as fig:
+        fig.x_values = [0]
+        for spec in specs:
+            summary = spec.run(n_slots)
+            for metric in metrics:
+                fig.add(spec.name, metric, summary_metric(summary, metric))
+    return fig

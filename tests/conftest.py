@@ -1,13 +1,16 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain (non-fixture) helpers live in :mod:`helpers` — import them with
+``from helpers import ...`` so they cannot be shadowed by another
+directory's ``conftest.py``.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.queries import PointQuery
-from repro.sensors import SensorSnapshot
-from repro.spatial import Location, Region
+from repro.spatial import Region
 
 
 @pytest.fixture
@@ -18,64 +21,3 @@ def rng() -> np.random.Generator:
 @pytest.fixture
 def unit_region() -> Region:
     return Region.from_origin(10.0, 10.0)
-
-
-def make_snapshot(
-    sensor_id: int = 0,
-    x: float = 0.0,
-    y: float = 0.0,
-    cost: float = 10.0,
-    inaccuracy: float = 0.0,
-    trust: float = 1.0,
-) -> SensorSnapshot:
-    """Terse snapshot builder used throughout the suite."""
-    return SensorSnapshot(
-        sensor_id=sensor_id,
-        location=Location(x, y),
-        cost=cost,
-        inaccuracy=inaccuracy,
-        trust=trust,
-    )
-
-
-def make_point_query(
-    x: float = 0.0,
-    y: float = 0.0,
-    budget: float = 15.0,
-    theta_min: float = 0.2,
-    dmax: float = 5.0,
-    query_id: str | None = None,
-) -> PointQuery:
-    return PointQuery(
-        location=Location(x, y),
-        budget=budget,
-        theta_min=theta_min,
-        dmax=dmax,
-        query_id=query_id,
-    )
-
-
-def random_instance(seed: int, n_sensors: int = 8, n_queries: int = 10, side: float = 20.0):
-    """A random point-query instance (sensors, queries) for solver tests."""
-    trng = np.random.default_rng(seed)
-    region = Region.from_origin(side, side)
-    sensors = [
-        SensorSnapshot(
-            i,
-            region.sample_location(trng),
-            float(trng.uniform(2.0, 12.0)),
-            float(trng.uniform(0.0, 0.2)),
-            float(trng.uniform(0.5, 1.0)),
-        )
-        for i in range(n_sensors)
-    ]
-    queries = [
-        PointQuery(
-            region.sample_location(trng),
-            budget=float(trng.uniform(5.0, 25.0)),
-            theta_min=0.2,
-            dmax=6.0,
-        )
-        for _ in range(n_queries)
-    ]
-    return queries, sensors

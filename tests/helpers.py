@@ -1,0 +1,78 @@
+"""Shared test helpers, imported explicitly (``from helpers import ...``).
+
+Kept out of ``conftest.py`` on purpose: ``from conftest import ...`` binds
+to whichever conftest pytest put on ``sys.path`` first, so a run that also
+collects ``benchmarks/`` resolves it to ``benchmarks/conftest.py`` and the
+whole suite fails to collect.  A plainly-named module has no such double.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries import PointQuery
+from repro.sensors import SensorSnapshot
+from repro.spatial import Location, Region
+
+__all__ = ["make_snapshot", "make_point_query", "random_instance"]
+
+
+def make_snapshot(
+    sensor_id: int = 0,
+    x: float = 0.0,
+    y: float = 0.0,
+    cost: float = 10.0,
+    inaccuracy: float = 0.0,
+    trust: float = 1.0,
+) -> SensorSnapshot:
+    """Terse snapshot builder used throughout the suite."""
+    return SensorSnapshot(
+        sensor_id=sensor_id,
+        location=Location(x, y),
+        cost=cost,
+        inaccuracy=inaccuracy,
+        trust=trust,
+    )
+
+
+def make_point_query(
+    x: float = 0.0,
+    y: float = 0.0,
+    budget: float = 15.0,
+    theta_min: float = 0.2,
+    dmax: float = 5.0,
+    query_id: str | None = None,
+) -> PointQuery:
+    return PointQuery(
+        location=Location(x, y),
+        budget=budget,
+        theta_min=theta_min,
+        dmax=dmax,
+        query_id=query_id,
+    )
+
+
+def random_instance(seed: int, n_sensors: int = 8, n_queries: int = 10, side: float = 20.0):
+    """A random point-query instance (sensors, queries) for solver tests."""
+    trng = np.random.default_rng(seed)
+    region = Region.from_origin(side, side)
+    sensors = [
+        SensorSnapshot(
+            i,
+            region.sample_location(trng),
+            float(trng.uniform(2.0, 12.0)),
+            float(trng.uniform(0.0, 0.2)),
+            float(trng.uniform(0.5, 1.0)),
+        )
+        for i in range(n_sensors)
+    ]
+    queries = [
+        PointQuery(
+            region.sample_location(trng),
+            budget=float(trng.uniform(5.0, 25.0)),
+            theta_min=0.2,
+            dmax=6.0,
+        )
+        for _ in range(n_queries)
+    ]
+    return queries, sensors

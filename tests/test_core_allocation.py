@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import make_point_query, make_snapshot
+from helpers import make_point_query, make_snapshot
 from repro.core import AllocationError, AllocationResult, PaymentInvariantError, check_distinct
 
 
@@ -78,6 +78,26 @@ class TestVerify:
         with pytest.raises(PaymentInvariantError):
             result.verify()
 
+    def test_empty_result_passes(self):
+        AllocationResult().verify()
+
+    def test_tolerance_scales_with_cost(self):
+        # A relative rounding error on a large cost must not trip the
+        # absolute tolerance: the check scales by the announced cost.
+        result = AllocationResult()
+        cost = 1e9
+        snap = make_snapshot(0, cost=cost)
+        result.record("q1", snap, 2e9, cost * (1.0 + 1e-8))
+        result.verify()
+
+    def test_overpaid_sensor_is_also_a_violation(self):
+        # Cost recovery is an equality: a sensor may not profit either.
+        result = AllocationResult()
+        snap = make_snapshot(0, cost=10.0)
+        result.record("q1", snap, 30.0, 14.0)
+        with pytest.raises(PaymentInvariantError):
+            result.verify()
+
 
 class TestMerge:
     def test_merge_combines_ledgers(self):
@@ -98,6 +118,43 @@ class TestMerge:
         b.record("q2", make_snapshot(0, cost=5.0), 6.0, 5.0)
         with pytest.raises(AllocationError):
             a.merge(b)
+
+    def test_merge_conflict_leaves_no_partial_sensor_overwrite(self):
+        # The conflicting snapshot must not silently replace the original.
+        a, b = AllocationResult(), AllocationResult()
+        a.record("q1", make_snapshot(0, cost=10.0), 12.0, 10.0)
+        b.record("q2", make_snapshot(0, cost=5.0), 6.0, 5.0)
+        with pytest.raises(AllocationError):
+            a.merge(b)
+        assert a.selected[0].cost == pytest.approx(10.0)
+
+    def test_merge_accepts_same_cost_reannouncement(self):
+        a, b = AllocationResult(), AllocationResult()
+        snap = make_snapshot(0, cost=10.0)
+        a.record("q1", snap, 12.0, 6.0)
+        b.record("q2", make_snapshot(0, cost=10.0), 8.0, 4.0)
+        a.merge(b)
+        assert a.sensor_income(0) == pytest.approx(10.0)
+        a.verify()
+
+    def test_merge_accumulates_same_pair_payments(self):
+        a, b = AllocationResult(), AllocationResult()
+        snap = make_snapshot(0, cost=10.0)
+        a.record("q1", snap, 6.0, 4.0)
+        b.record("q1", make_snapshot(0, cost=10.0), 7.0, 6.0)
+        a.merge(b)
+        assert a.values["q1"] == pytest.approx(13.0)
+        assert a.payments[("q1", 0)] == pytest.approx(10.0)
+        assert a.assignments["q1"] == (0,)
+        a.verify()
+
+    def test_merge_into_empty_result(self):
+        a, b = AllocationResult(), AllocationResult()
+        b.record("q1", make_snapshot(3, cost=2.0), 5.0, 2.0)
+        a.merge(b)
+        assert a.total_value == pytest.approx(5.0)
+        assert a.total_cost == pytest.approx(2.0)
+        a.verify()
 
 
 class TestCheckDistinct:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import make_point_query, make_snapshot, random_instance
+from helpers import make_point_query, make_snapshot, random_instance
 from repro.core import BaselineAllocator, OptimalPointAllocator
 from repro.queries import SpatialAggregateQuery
 from repro.spatial import Region

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_point_query, make_snapshot, random_instance
+from helpers import make_point_query, make_snapshot, random_instance
 from repro.core import GreedyAllocator
 from repro.queries import SpatialAggregateQuery
 from repro.spatial import Region

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import make_point_query, make_snapshot, random_instance
+from helpers import make_point_query, make_snapshot, random_instance
 from repro.core import (
     LocalSearchPointAllocator,
     OptimalPointAllocator,

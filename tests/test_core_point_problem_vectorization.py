@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_point_query, make_snapshot
+from helpers import make_point_query, make_snapshot
 from repro.core.point_problem import PointProblem
 
 budgets = st.floats(1.0, 40.0)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import make_snapshot
+from helpers import make_snapshot
 from repro.core import paper_weight_function, plan_sampling
 from repro.phenomena import GaussianProcessField, RBFKernel
 from repro.queries import RegionMonitoringQuery

@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+ROOT = Path(__file__).parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def _env_with_src():
+    """Subprocesses don't inherit pytest's ``pythonpath`` ini — add src/."""
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
 
 
 def test_examples_exist():
@@ -22,6 +33,7 @@ def test_example_runs(path):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_env_with_src(),
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), f"{path.name} produced no output"

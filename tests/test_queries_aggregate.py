@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_snapshot
+from helpers import make_snapshot
 from repro.queries import (
     QueryType,
     SpatialAggregateQuery,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import make_snapshot
+from helpers import make_snapshot
 from repro.phenomena import (
     GaussianProcessField,
     HarmonicRegressionModel,

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_point_query, make_snapshot
+from helpers import make_point_query, make_snapshot
 from repro.queries import MultiSensorPointQuery, PointQuery, QueryType, reading_quality
 from repro.spatial import Location
 
