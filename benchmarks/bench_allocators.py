@@ -1,12 +1,23 @@
 """Micro-benchmarks: per-slot allocation cost of each scheduling algorithm.
 
-These are classic pytest-benchmark timings (many rounds) on one frozen
-paper-scale slot: 200 sensors, 300 point queries.  They track the
-complexity claims of Section 3 — the BILP stays tractable thanks to the
-sparse formulation, local search and greedy are a few tens of milliseconds.
+Two frozen slots are timed: the historical 300 queries x 200 sensors case,
+and the paper-scale RNC slot (300 queries x 635 sensors) where the
+vectorized greedy's batch-gain protocol is the headline.  The suite also
+asserts the hard floor from the batch-gain rollout — vectorized greedy at
+least 3x the scalar reference on the paper-scale slot, with identical
+allocations — and emits a ``BENCH_allocators.json`` perf trajectory
+(per-case mean/stdev seconds) so future changes have numbers to compare
+against.  Set ``REPRO_BENCH_JSON`` to choose the output path.
+
+Run:  pytest benchmarks/bench_allocators.py --benchmark-only -s
 """
 
 from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
 
 import numpy as np
 import pytest
@@ -21,11 +32,41 @@ from repro.queries import PointQueryWorkload
 from repro.sensors import SensorSnapshot
 from repro.spatial import Region
 
+_RESULTS: dict[str, dict[str, float]] = {}
 
-@pytest.fixture(scope="module")
-def slot():
+
+def _record_case(name: str, mean: float, stdev: float, rounds: int) -> None:
+    _RESULTS[name] = {
+        "mean_seconds": float(mean),
+        "stdev_seconds": float(stdev),
+        "rounds": int(rounds),
+    }
+
+
+def _record_benchmark(name: str, benchmark) -> None:
+    """Record a pytest-benchmark case (no-op under --benchmark-disable,
+    where ``benchmark.stats`` is None)."""
+    if benchmark.stats is None:
+        return
+    stats = benchmark.stats.stats
+    _record_case(name, stats.mean, stats.stddev, stats.rounds)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_trajectory_json():
+    """Write the per-case timing table after the whole bench session."""
+    yield
+    if not _RESULTS:
+        return
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_allocators.json")
+    with open(path, "w") as fh:
+        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {len(_RESULTS)} bench cases to {path}")
+
+
+def make_slot(n_queries: int, n_sensors: int, side: float = 50.0):
     rng = np.random.default_rng(2013)
-    region = Region.from_origin(50, 50)
+    region = Region.from_origin(side, side)
     sensors = [
         SensorSnapshot(
             i,
@@ -34,12 +75,23 @@ def slot():
             float(rng.uniform(0, 0.2)),
             1.0,
         )
-        for i in range(200)
+        for i in range(n_sensors)
     ]
-    queries = PointQueryWorkload(region, n_queries=300, budget=15.0, dmax=5.0).generate(
-        0, rng
-    )
+    queries = PointQueryWorkload(
+        region, n_queries=n_queries, budget=15.0, dmax=5.0
+    ).generate(0, rng)
     return queries, sensors
+
+
+@pytest.fixture(scope="module")
+def slot():
+    return make_slot(300, 200)
+
+
+@pytest.fixture(scope="module")
+def paper_slot():
+    """The paper's RNC scale: 635 sensors announcing, 300 point queries."""
+    return make_slot(300, 635)
 
 
 @pytest.mark.parametrize(
@@ -56,3 +108,71 @@ def test_allocator_slot_cost(benchmark, slot, allocator):
     queries, sensors = slot
     result = benchmark(allocator.allocate, queries, sensors)
     assert result.total_utility >= 0.0
+    _record_benchmark(f"{allocator.name.lower()}_300x200", benchmark)
+
+
+@pytest.mark.parametrize(
+    "allocator,case",
+    [
+        (GreedyAllocator(), "greedy_vectorized_300x635"),
+        (GreedyAllocator(vectorized=False), "greedy_scalar_300x635"),
+        (BaselineAllocator(), "baseline_300x635"),
+    ],
+    ids=["greedy_vectorized", "greedy_scalar", "baseline"],
+)
+def test_allocator_paper_scale_cost(benchmark, paper_slot, allocator, case):
+    queries, sensors = paper_slot
+    result = benchmark(allocator.allocate, queries, sensors)
+    assert result.total_utility >= 0.0
+    _record_benchmark(case, benchmark)
+
+
+def test_greedy_vectorized_speedup_at_paper_scale(paper_slot):
+    """Hard floor: the batch-gain greedy must be >= 3x the scalar path on
+    the paper-scale slot, with identical allocations."""
+    queries, sensors = paper_slot
+    vectorized = GreedyAllocator(verify=False)
+    scalar = GreedyAllocator(verify=False, vectorized=False)
+
+    # Interleave the two paths so clock-frequency drift or co-tenant noise
+    # hits both equally; best-of-N on each side filters the spikes.
+    fast, slow = [], []
+    for _ in range(7):
+        start = time.perf_counter()
+        vectorized.allocate(queries, sensors)
+        fast.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        scalar.allocate(queries, sensors)
+        slow.append(time.perf_counter() - start)
+    _record_case(
+        "greedy_vectorized_noverify_300x635",
+        statistics.mean(fast), statistics.stdev(fast), len(fast),
+    )
+    _record_case(
+        "greedy_scalar_noverify_300x635",
+        statistics.mean(slow), statistics.stdev(slow), len(slow),
+    )
+    speedup = min(slow) / min(fast)
+    print(
+        f"\ngreedy slot 300x635: scalar {min(slow)*1e3:.1f} ms, "
+        f"vectorized {min(fast)*1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+
+    # Sensor picks and assignment sets match exactly; recorded values and
+    # cost shares may differ in the final ulp (np.hypot vs math.hypot —
+    # same tolerance the parity suite documents).
+    a = vectorized.allocate(queries, sensors)
+    b = scalar.allocate(queries, sensors)
+    assert a.assignments == b.assignments
+    assert set(a.selected) == set(b.selected)
+    assert a.values.keys() == b.values.keys()
+    for qid, value in b.values.items():
+        assert a.values[qid] == pytest.approx(value, rel=1e-12, abs=1e-12)
+    assert a.payments.keys() == b.payments.keys()
+    for key, payment in b.payments.items():
+        assert a.payments[key] == pytest.approx(payment, rel=1e-12, abs=1e-12)
+
+    assert speedup >= 3.0, (
+        f"batch-gain greedy ({min(fast)*1e3:.1f} ms) must be >= 3x the "
+        f"scalar reference ({min(slow)*1e3:.1f} ms); got {speedup:.2f}x"
+    )

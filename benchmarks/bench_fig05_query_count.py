@@ -3,16 +3,29 @@
 The paper's finding: more queries mean more sharing opportunities — utility
 grows with query count and satisfaction creeps up, while the baseline
 scales far less favourably.
+
+The sweep decomposes into independent (query count x algorithm) cells; set
+``REPRO_SWEEP_WORKERS=<n>`` to fan them out over a process pool (the
+results are bit-identical to the serial sweep — see
+``tests/test_runner_parallel.py`` — so the only difference is wall-clock
+on multi-core hosts).
 """
 
 from __future__ import annotations
+
+import os
 
 from conftest import run_once
 from repro.experiments import fig5, format_figure
 
 
+def _sweep_workers() -> int | None:
+    value = os.environ.get("REPRO_SWEEP_WORKERS", "")
+    return int(value) if value else None
+
+
 def test_fig5_query_count_sweep(benchmark, scale):
-    result = run_once(benchmark, fig5, scale)
+    result = run_once(benchmark, fig5, scale, max_workers=_sweep_workers())
     print()
     print(format_figure(result))
 

@@ -135,7 +135,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print(f"  avg utility/slot : {summary.average_utility:10.2f}")
         print(f"  satisfaction     : {summary.satisfaction_ratio:10.1%}")
         print(f"  egalitarian      : {summary.egalitarian_ratio:10.1%}")
-        for label in sorted(summary.quality_samples):
+        for label in sorted(summary.quality_stats):
             print(f"  quality[{label:<20}]: {summary.average_quality(label):7.3f}")
         if out_dir:
             payload = {
@@ -146,7 +146,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
                 "egalitarian_ratio": summary.egalitarian_ratio,
                 "quality": {
                     label: summary.average_quality(label)
-                    for label in summary.quality_samples
+                    for label in summary.quality_stats
                 },
                 "slots": [
                     {

@@ -20,7 +20,7 @@ from .engine import (
 from .errors import AllocationError, PaymentInvariantError, ReproError, SolverError
 from .greedy import GreedyAllocator, relevant_queries_by_sensor
 from .local_search import LocalSearchPointAllocator, RandomizedLocalSearchAllocator
-from .metrics import SimulationSummary, SlotRecord
+from .metrics import RunningStat, SimulationSummary, SlotRecord
 from .mix import BaselineMixAllocator, MixAllocator, MixOutcome
 from .monitoring import (
     LocationMonitoringController,
@@ -87,6 +87,7 @@ __all__ = [
     "MixOutcome",
     "SimulationSummary",
     "SlotRecord",
+    "RunningStat",
     "OneShotSimulation",
     "LocationMonitoringSimulation",
     "RegionMonitoringSimulation",

@@ -138,20 +138,29 @@ class AllocationResult:
         3. every query's utility is non-negative (Theorem 1, property 3);
         4. assignments only reference selected sensors.
         """
+        # One grouping pass over the ledger instead of a full payments scan
+        # per query/sensor (the helpers stay O(n) for ad-hoc callers, but
+        # verify runs on every slot of every engine).  Per-key accumulation
+        # follows the ledger's insertion order, so the sums are bit-equal
+        # to what query_payment / sensor_income return.
+        query_paid: dict[str, float] = {}
+        sensor_paid: dict[int, float] = {}
         for (qid, sid), payment in self.payments.items():
             if payment < -tolerance:
                 raise PaymentInvariantError(
                     f"negative payment {payment} from {qid} to sensor {sid}"
                 )
+            query_paid[qid] = query_paid.get(qid, 0.0) + payment
+            sensor_paid[sid] = sensor_paid.get(sid, 0.0) + payment
         for sid, snapshot in self.selected.items():
-            income = self.sensor_income(sid)
+            income = sensor_paid.get(sid, 0.0)
             if abs(income - snapshot.cost) > max(tolerance, tolerance * snapshot.cost):
                 raise PaymentInvariantError(
                     f"sensor {sid} income {income:.6f} != cost {snapshot.cost:.6f}"
                 )
-        for qid in self.values:
-            utility = self.query_utility(qid)
-            if utility < -max(tolerance, tolerance * abs(self.values[qid])):
+        for qid, value in self.values.items():
+            utility = value - query_paid.get(qid, 0.0)
+            if utility < -max(tolerance, tolerance * abs(value)):
                 raise PaymentInvariantError(
                     f"query {qid} has negative utility {utility:.6f}"
                 )

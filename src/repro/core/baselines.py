@@ -61,15 +61,16 @@ class BaselineAllocator:
         result = AllocationResult()
         if not queries or not sensors:
             return result
+        sensors = list(sensors)
+        kernel = ValuationKernel.ensure(kernel, sensors)
 
-        # Vectorized Q_{l_s} prefilter for plain point queries (the scalar
-        # fallback covers every other type).
-        relevance_row: dict[str, np.ndarray] = {}
-        if kernel is not None and kernel.matches(sensors):
-            plain = [q for q in queries if type(q) is PointQuery]
-            if plain:
-                rel = kernel.relevance(plain)
-                relevance_row = {q.query_id: rel[i] for i, q in enumerate(plain)}
+        # Vectorized Q_{l_s} prefilter + precomputed value rows for plain
+        # point queries (the scalar fallback covers every other type).
+        plain = [q for q in queries if type(q) is PointQuery]
+        value_rows: dict[str, np.ndarray] = {}
+        if plain:
+            rows = kernel.single_values(plain)
+            value_rows = {q.query_id: rows[i] for i, q in enumerate(plain)}
 
         paid: set[int] = set()  # sensors whose cost is already covered
         answered: set[str] = set()
@@ -79,18 +80,36 @@ class BaselineAllocator:
                 continue
             state = query.new_state()
             spent_new: list[SensorSnapshot] = []
-            row = relevance_row.get(query.query_id)
+            row = value_rows.get(query.query_id)
             if row is not None:
-                candidates = [s for s, ok in zip(sensors, row) if ok]
+                candidate_idx = np.flatnonzero(row > 0.0)
             else:
-                candidates = [s for s in sensors if query.relevant(s)]
+                candidate_idx = np.fromiter(
+                    (j for j, s in enumerate(sensors) if query.relevant(s)),
+                    np.intp,
+                )
+            candidates = [sensors[j] for j in candidate_idx]
+            # Per-query roster: the batch state evaluates all of this
+            # query's candidates in one vectorized pass per round instead
+            # of one Python `state.gain` call per (round, candidate).
+            roster = kernel.roster(candidate_idx, sensors)
+            if row is not None:
+                roster.value_rows[query.query_id] = row[candidate_idx]
+            else:
+                # The roster holds exactly this query's relevant sensors.
+                roster.relevance_rows[query.query_id] = np.ones(
+                    len(candidate_idx), dtype=bool
+                )
+            batch = state.batch(roster)
+            local_indices = roster.all_indices
             chosen_ids: set[int] = set()
             while True:
+                gains = batch.gain_many(local_indices) if candidates else ()
                 best, best_net, best_gain = None, 0.0, 0.0
-                for snapshot in candidates:
+                for position, snapshot in enumerate(candidates):
                     if snapshot.sensor_id in chosen_ids:
                         continue
-                    gain = state.gain(snapshot)
+                    gain = float(gains[position])
                     if gain <= self.min_gain:
                         continue
                     effective_cost = 0.0 if snapshot.sensor_id in paid else snapshot.cost

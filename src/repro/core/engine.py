@@ -483,6 +483,7 @@ class SlotEngine:
         self.rng = rng
         self.verify_each_slot = verify_each_slot
         self.use_kernel = use_kernel
+        self._kernel: ValuationKernel | None = None
 
     def stream(self, kind: str) -> QueryStream:
         """The first stream of the given kind (raises ``KeyError`` if none)."""
@@ -491,8 +492,16 @@ class SlotEngine:
                 return stream
         raise KeyError(f"no stream of kind {kind!r}")
 
-    def run(self, n_slots: int) -> SimulationSummary:
-        summary = SimulationSummary()
+    def run(self, n_slots: int, *, keep_samples: bool = False) -> SimulationSummary:
+        """Run ``n_slots`` slots into a fresh summary.
+
+        ``keep_samples`` opts into raw quality-sample retention (see
+        :class:`~repro.core.metrics.SimulationSummary`); the default keeps
+        only the streaming aggregates, so quality accounting no longer
+        grows with the number of answered queries (the dominant per-slot
+        term).  The summary still appends one :class:`SlotRecord` per slot.
+        """
+        summary = SimulationSummary(keep_samples=keep_samples)
         for _ in range(n_slots):
             self.step(summary)
         for stream in self.streams:
@@ -505,7 +514,14 @@ class SlotEngine:
         for stream in self.streams:
             stream.begin_slot(t, self.rng, summary)
         sensors = self.fleet.announcements()
-        kernel = ValuationKernel.from_sensors(sensors) if self.use_kernel else None
+        # Consecutive slots with unchanged announcements (stationary fleets,
+        # replayed traces with sleeping sensors) reuse the previous slot's
+        # kernel: the identity-token check is one tuple compare, and value
+        # matrices never depend on the announced costs that may still move.
+        kernel = (
+            ValuationKernel.ensure(self._kernel, sensors) if self.use_kernel else None
+        )
+        self._kernel = kernel
         result = self.allocation.run(t, self.streams, sensors, kernel)
         record = SlotRecord(slot=t, cost=result.total_cost)
         for stream in sorted(self.streams, key=lambda s: s.settle_rank):

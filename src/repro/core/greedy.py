@@ -11,12 +11,27 @@ Theorem 1's guarantees:
 3. non-negative individual query utility;
 4. ``O(|Q| |S|^2)`` valuation calls.
 
-The implementation adds one exact optimization: a sensor's cached marginal
-sum only changes when one of *its* relevant queries received a new sensor,
-so after committing sensor ``a`` we re-evaluate only the sensors whose
-relevant-query sets intersect ``Q_a`` (this is the paper's ``Q_{l_s}``
-pre-filtering taken to its logical end; it changes nothing about which
-sensor wins each round).
+Two implementations share the selection/settlement semantics:
+
+* the **batch path** (default) drives the queries' batch-gain protocol
+  (:meth:`~repro.queries.ValuationState.batch`): a dense
+  ``(n_queries, n_sensors)`` gain matrix is built once from vectorized
+  ``gain_many`` passes and only the *dirty* rows — queries that received a
+  sensor in the previous round — are re-evaluated after each commit.
+  Per-sensor net utilities are re-accumulated for the affected columns with
+  a sequential (``cumsum``) pass in query order, which reproduces the
+  scalar path's Python ``sum`` addition order bit-for-bit, so both paths
+  select identical sensors and settle identical cost shares;
+* the **scalar path** (``vectorized=False``) is the historical per-pair
+  ``ValuationState.gain`` loop, kept as the executable reference the
+  parity suite checks the batch path against.
+
+Both add one exact optimization over the pseudo-code: a sensor's cached
+marginal sum only changes when one of *its* relevant queries received a new
+sensor, so after committing sensor ``a`` we re-evaluate only the pairs
+whose relevant-query sets intersect ``Q_a`` (this is the paper's
+``Q_{l_s}`` pre-filtering taken to its logical end; it changes nothing
+about which sensor wins each round).
 """
 
 from __future__ import annotations
@@ -79,16 +94,22 @@ class GreedyAllocator:
             zero (guards against float noise keeping the loop alive).
         verify: run the Theorem-1 invariant checks on the result (cheap;
             disable only in tight benchmarking loops).
+        vectorized: drive the batch-gain protocol (default).  The scalar
+            per-pair loop remains available as the parity reference and for
+            query types whose states deliberately bypass batching.
     """
 
     name = "Greedy"
     supports_kernel = True
 
-    def __init__(self, min_gain: float = 1e-9, verify: bool = True) -> None:
+    def __init__(
+        self, min_gain: float = 1e-9, verify: bool = True, vectorized: bool = True
+    ) -> None:
         if min_gain < 0:
             raise ValueError("min_gain must be non-negative")
         self.min_gain = min_gain
         self.verify = verify
+        self.vectorized = vectorized
 
     def allocate(
         self,
@@ -98,9 +119,175 @@ class GreedyAllocator:
     ) -> AllocationResult:
         check_distinct(queries, sensors)
         result = AllocationResult()
-        if not queries or not sensors:
-            return result
+        if queries and sensors:
+            if self.vectorized:
+                self._allocate_batch(list(queries), list(sensors), kernel, result)
+            else:
+                self._allocate_scalar(queries, sensors, kernel, result)
+        if self.verify:
+            result.verify()
+        return result
 
+    # ------------------------------------------------------------------
+    # the batch path: dense gain matrix + masked recomputation
+    # ------------------------------------------------------------------
+    def _allocate_batch(
+        self,
+        queries: list[Query],
+        sensors: list[SensorSnapshot],
+        kernel: ValuationKernel | None,
+        result: AllocationResult,
+    ) -> None:
+        kernel = ValuationKernel.ensure(kernel, sensors)
+        n_queries, n_all = len(queries), len(sensors)
+
+        # Relevance over the full announcement set: one kernel pass for the
+        # plain point queries (the bulk of every slot), scalar `relevant`
+        # for everything else.  The single-value block doubles as the point
+        # queries' precomputed gain rows below.
+        plain_idx = [i for i, q in enumerate(queries) if type(q) is PointQuery]
+        single_values = (
+            kernel.single_values([queries[i] for i in plain_idx])
+            if plain_idx
+            else None
+        )
+        relevance_all = np.zeros((n_queries, n_all), dtype=bool)
+        if plain_idx:
+            relevance_all[plain_idx] = single_values > 0.0
+        for i, query in enumerate(queries):
+            if type(query) is not PointQuery:
+                relevance_all[i] = np.fromiter(
+                    (query.relevant(s) for s in sensors), bool, n_all
+                )
+
+        # Candidate roster: the paper's Q_{l_s} — sensors serving anything.
+        cols = np.flatnonzero(relevance_all.any(axis=0))
+        if cols.size == 0:
+            return
+        # Snapshots and costs come from the *passed* announcements — the
+        # kernel may be a reused one whose own snapshots carry stale prices.
+        roster = kernel.roster(cols, sensors)
+        relevance = relevance_all[:, cols]
+        costs = np.fromiter((sensors[j].cost for j in cols), float, cols.size)
+        if plain_idx:
+            block = single_values[:, cols]
+            for p, i in enumerate(plain_idx):
+                roster.value_rows[queries[i].query_id] = block[p]
+        for i, query in enumerate(queries):
+            if type(query) is not PointQuery:
+                roster.relevance_rows[query.query_id] = relevance[i]
+
+        states: dict[str, ValuationState] = {q.query_id: q.new_state() for q in queries}
+        batches = [states[q.query_id].batch(roster) for q in queries]
+
+        n = cols.size
+        gain_matrix = np.zeros((n_queries, n), dtype=float)
+        alive = np.ones(n, dtype=bool)
+        all_indices = roster.all_indices
+        # Initial fill.  Point-query rows come straight from the kernel
+        # block (empty state: the marginal gain IS the single value), one
+        # vectorized pass for the whole block; other query types fill via
+        # their batch states.
+        if plain_idx:
+            rows = np.asarray(plain_idx, dtype=np.intp)
+            keep = relevance[rows] & (block > self.min_gain)
+            gain_matrix[rows] = np.where(keep, block, 0.0)
+        for i, query in enumerate(queries):
+            if type(query) is not PointQuery and relevance[i].any():
+                self._refresh_row(gain_matrix, relevance, batches, i, all_indices)
+        net = np.empty(n, dtype=float)
+        self._recompute_net(gain_matrix, costs, all_indices, net)
+
+        while alive.any():
+            candidate_net = np.where(alive, net, -np.inf)
+            j = int(np.argmax(candidate_net))
+            column = gain_matrix[:, j]
+            benefiting = np.flatnonzero(column)
+            if net[j] <= 0.0 or benefiting.size == 0:
+                break
+
+            snapshot = roster.snapshots[j]
+            gains = {queries[i].query_id: float(column[i]) for i in benefiting}
+            shares = proportionate_shares(gains, snapshot.cost)
+            for i in benefiting:
+                qid = queries[i].query_id
+                gain = gains[qid]
+                realized = states[qid].add(snapshot)
+                # The committed gain must match the batch evaluation; the
+                # states are only mutated here, so any drift is a query-
+                # implementation bug worth failing loudly on.
+                if abs(realized - gain) > 1e-6 * max(1.0, abs(gain)):
+                    raise RuntimeError(
+                        f"query {qid} marginal gain drifted: batch {gain}, "
+                        f"realized {realized}"
+                    )
+                result.record(queries[i], snapshot, gain, shares[qid])
+            alive[j] = False
+
+            # Masked recomputation: only the rows that just grew, only the
+            # still-live columns; then re-accumulate the nets of sensors
+            # sharing any touched query.
+            live = np.flatnonzero(alive)
+            if live.size == 0:
+                break
+            for i in benefiting:
+                self._refresh_row(gain_matrix, relevance, batches, i, live)
+            dirty = relevance[benefiting].any(axis=0)
+            dirty &= alive
+            dirty_cols = np.flatnonzero(dirty)
+            if dirty_cols.size:
+                self._recompute_net(gain_matrix, costs, dirty_cols, net)
+
+    def _refresh_row(
+        self,
+        gain_matrix: np.ndarray,
+        relevance: np.ndarray,
+        batches: list,
+        row: int,
+        columns: np.ndarray,
+    ) -> None:
+        """Re-evaluate one query's gains against ``columns`` in one pass.
+
+        Only the query's *relevant* columns are evaluated — irrelevant
+        entries are zero-initialized and never change.
+        """
+        targets = columns[relevance[row, columns]]
+        if targets.size == 0:
+            return
+        gains = batches[row].gain_many(targets)
+        gain_matrix[row, targets] = np.where(gains > self.min_gain, gains, 0.0)
+
+    @staticmethod
+    def _recompute_net(
+        gain_matrix: np.ndarray,
+        costs: np.ndarray,
+        columns: np.ndarray,
+        net: np.ndarray,
+    ) -> None:
+        """Net utility of ``columns``, re-accumulated in query order.
+
+        Summation runs sequentially down the query axis (``cumsum``), which
+        is exactly the addition order of the scalar path's Python ``sum``
+        over its per-sensor gains dict — zero entries are exact no-ops — so
+        near-tie sensor selections cannot diverge between the two paths.
+        """
+        sub = gain_matrix[:, columns]
+        contributing = np.flatnonzero(sub.any(axis=1))
+        if contributing.size == 0:
+            net[columns] = 0.0 - costs[columns]
+        else:
+            net[columns] = sub[contributing].cumsum(axis=0)[-1] - costs[columns]
+
+    # ------------------------------------------------------------------
+    # the scalar path: the historical per-pair reference implementation
+    # ------------------------------------------------------------------
+    def _allocate_scalar(
+        self,
+        queries: Sequence[Query],
+        sensors: Sequence[SensorSnapshot],
+        kernel: ValuationKernel | None,
+        result: AllocationResult,
+    ) -> None:
         states: dict[str, ValuationState] = {q.query_id: q.new_state() for q in queries}
         queries_by_id = {q.query_id: q for q in queries}
 
@@ -152,7 +339,3 @@ class GreedyAllocator:
             for sid in remaining:
                 if touched.intersection(relevant[sid]):
                     dirty.add(sid)
-
-        if self.verify:
-            result.verify()
-        return result

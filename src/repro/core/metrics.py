@@ -10,13 +10,24 @@ Three quantities appear in every figure:
   valuation over the maximum of its valuation function (Figures 7-10);
   for region monitoring the reference is the *planned* valuation, which is
   how the paper's Figure 9(b) exceeds 1.
+
+Quality samples are aggregated **online** (count / running sum / Welford
+M2 per label, :class:`RunningStat`), so quality accounting holds a
+constant-size aggregate per label no matter how many queries a month-long
+scenario answers — the summary's remaining growth is one
+:class:`SlotRecord` per slot.  The running sum accumulates in arrival
+order, which makes :meth:`SimulationSummary.average_quality` bit-identical
+to the historical ``sum(samples) / len(samples)`` over raw lists.  Figure
+scripts that need full distributions (histograms, percentile bands) opt
+back into raw retention with ``SimulationSummary(keep_samples=True)``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
-__all__ = ["SlotRecord", "SimulationSummary"]
+__all__ = ["SlotRecord", "RunningStat", "SimulationSummary"]
 
 
 @dataclass
@@ -37,18 +48,79 @@ class SlotRecord:
 
 
 @dataclass
+class RunningStat:
+    """Online count / sum / M2 aggregation (Welford) of one sample stream.
+
+    ``mean`` divides the running sum — equal to summing the raw samples
+    left-to-right — so it reproduces a raw-list mean bit-for-bit.  ``m2``
+    carries Welford's sum of squared deviations for O(1)-memory variance.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    m2: float = 0.0
+    _welford_mean: float = field(default=0.0, repr=False)
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        delta = x - self._welford_mean
+        self._welford_mean += delta / self.count
+        self.m2 += delta * (x - self._welford_mean)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        return self.m2 / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another stream's aggregate in (parallel sweep reduction)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.m2 = other.m2
+            self._welford_mean = other._welford_mean
+            return
+        combined = self.count + other.count
+        delta = other._welford_mean - self._welford_mean
+        self.m2 += other.m2 + delta * delta * self.count * other.count / combined
+        self.total += other.total
+        self._welford_mean += delta * other.count / combined
+        self.count = combined
+
+
+@dataclass
 class SimulationSummary:
-    """Aggregated outcome of one simulation run."""
+    """Aggregated outcome of one simulation run.
+
+    Args:
+        keep_samples: additionally retain every raw quality sample in
+            :attr:`quality_samples` (opt-in; the streaming aggregates in
+            :attr:`quality_stats` are always maintained and serve every
+            accessor, so the default runs in constant memory).
+    """
 
     slots: list[SlotRecord] = field(default_factory=list)
-    #: quality-of-results samples per query-type label (e.g. "point",
-    #: "aggregate", "location_monitoring"); monitoring entries are appended
-    #: when a query completes.
+    #: raw quality-of-results samples per query-type label — populated only
+    #: when ``keep_samples`` is set; use :attr:`quality_stats` otherwise.
     quality_samples: dict[str, list[float]] = field(default_factory=dict)
+    #: streaming per-label aggregates (count / mean / M2); always current.
+    quality_stats: dict[str, RunningStat] = field(default_factory=dict)
     #: count of queries whose net utility was positive — the egalitarian
     #: objective the paper mentions as an alternative (Section 2).
     positive_utility_queries: int = 0
     total_queries: int = 0
+    keep_samples: bool = False
 
     # ------------------------------------------------------------------
     @property
@@ -74,15 +146,33 @@ class SimulationSummary:
             return 0.0
         return sum(r.answered for r in self.slots) / issued
 
+    def quality_labels(self) -> list[str]:
+        """Labels that received at least one quality sample, in order."""
+        return list(self.quality_stats)
+
+    def quality_count(self, label: str) -> int:
+        stat = self.quality_stats.get(label)
+        return stat.count if stat else 0
+
     def average_quality(self, label: str) -> float:
         """Mean quality of results for one query type (Figures 7-10 (b-d))."""
-        samples = self.quality_samples.get(label, [])
-        if not samples:
+        stat = self.quality_stats.get(label)
+        if stat is None or stat.count == 0:
             return 0.0
-        return float(sum(samples) / len(samples))
+        return float(stat.mean)
+
+    def quality_stdev(self, label: str) -> float:
+        """Streaming standard deviation of one label's quality samples."""
+        stat = self.quality_stats.get(label)
+        return float(stat.stdev) if stat else 0.0
 
     def add_quality(self, label: str, quality: float) -> None:
-        self.quality_samples.setdefault(label, []).append(quality)
+        stat = self.quality_stats.get(label)
+        if stat is None:
+            stat = self.quality_stats.setdefault(label, RunningStat())
+        stat.add(quality)
+        if self.keep_samples:
+            self.quality_samples.setdefault(label, []).append(quality)
 
     def record_query_outcome(self, utility: float) -> None:
         self.total_queries += 1

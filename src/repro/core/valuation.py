@@ -36,15 +36,31 @@ keeps its historical formula.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from ..queries import PointQuery
+from ..queries import PointQuery, SensorRoster
 from ..sensors import SensorSnapshot
 
-__all__ = ["ValuationKernel"]
+__all__ = ["ValuationKernel", "announcement_token"]
+
+
+def announcement_token(sensors: Sequence[SensorSnapshot]) -> tuple:
+    """Identity token of an announcement batch.
+
+    Two batches with equal tokens are interchangeable for every value
+    matrix the kernel produces: same sensor ids, positions, inaccuracies
+    and trusts in the same column order.  Announced *costs* are excluded
+    on purpose — value matrices never depend on them (see
+    :class:`ValuationKernel`), which is what lets a kernel survive
+    re-announcements that change prices only.
+    """
+    return tuple(
+        (s.sensor_id, s.location.x, s.location.y, s.inaccuracy, s.trust)
+        for s in sensors
+    )
 
 
 def _stack_queries(
@@ -85,13 +101,23 @@ class ValuationKernel:
     gamma: np.ndarray
     trust: np.ndarray
     costs: np.ndarray
+    #: precomputed :func:`announcement_token` of ``sensors`` (lazy).
+    _token: tuple | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod
     def from_sensors(cls, sensors: Sequence[SensorSnapshot]) -> "ValuationKernel":
-        sensors = list(sensors)
+        # Keep the caller's list object when possible: allocators that
+        # receive the same announcement list the kernel was built from get
+        # an O(1) identity fast path in :meth:`matches`.  The kernel treats
+        # the list as frozen — replacing its *elements* after construction
+        # is a caller bug the fast path cannot detect (snapshots themselves
+        # are frozen dataclasses, so the only mutable surface is the list
+        # slots), exactly as mutating the stacked arrays would be.  Every
+        # in-repo producer builds a fresh list per slot.
+        sensors = sensors if type(sensors) is list else list(sensors)
         n = len(sensors)
         xy = np.empty((n, 2), dtype=float)
         gamma = np.empty(n, dtype=float)
@@ -115,24 +141,50 @@ class ValuationKernel:
 
         Compatibility means identical sensor ids, positions, inaccuracy and
         trust in identical column order; announced costs may differ (the
-        sequential mix baseline re-announces stage-1 sensors at zero cost
-        without invalidating the value matrices).
+        sequential mix baseline re-announces stage-1 sensors at zero cost,
+        and slot-to-slot reuse survives pure price moves) — consumers must
+        treat :attr:`costs` as a build-time snapshot, never as settlement
+        truth.
         """
         if kernel is not None and kernel.matches(sensors):
+            # Rebind to the current announcement list: identity attributes
+            # are equal by the match, and rebinding restores the O(1)
+            # ``is`` fast path for every later check this slot (the kernel
+            # otherwise stays pinned to the *previous* slot's list after a
+            # cross-slot reuse and pays a token compare per consumer).
+            if sensors is not kernel.sensors:
+                kernel.sensors = sensors if type(sensors) is list else list(sensors)
             return kernel
         return cls.from_sensors(sensors)
 
+    @property
+    def token(self) -> tuple:
+        """Cached :func:`announcement_token` of this kernel's batch."""
+        if self._token is None:
+            self._token = announcement_token(self.sensors)
+        return self._token
+
     def matches(self, sensors: Sequence[SensorSnapshot]) -> bool:
+        """O(1) reuse check for the common case, token compare otherwise.
+
+        Allocators call this on every ``allocate``; when they are handed
+        the very list the slot kernel was built from (the engine's normal
+        path) the identity check answers immediately.  Otherwise the
+        candidates are compared against the *cached* identity token one
+        sensor at a time — mobile fleets (the usual mismatch) exit on the
+        first moved sensor instead of paying a full token build.
+        """
+        if sensors is self.sensors:
+            return True
         if len(sensors) != len(self.sensors):
             return False
-        for j, snapshot in enumerate(sensors):
-            mine = self.sensors[j]
+        for cached, snapshot in zip(self.token, sensors):
             if (
-                snapshot.sensor_id != mine.sensor_id
-                or snapshot.location.x != mine.location.x
-                or snapshot.location.y != mine.location.y
-                or snapshot.inaccuracy != mine.inaccuracy
-                or snapshot.trust != mine.trust
+                cached[0] != snapshot.sensor_id
+                or cached[1] != snapshot.location.x
+                or cached[2] != snapshot.location.y
+                or cached[3] != snapshot.inaccuracy
+                or cached[4] != snapshot.trust
             ):
                 return False
         return True
@@ -143,6 +195,30 @@ class ValuationKernel:
     @property
     def n_sensors(self) -> int:
         return len(self.sensors)
+
+    def roster(
+        self,
+        indices: np.ndarray | None = None,
+        snapshots: Sequence[SensorSnapshot] | None = None,
+    ) -> SensorRoster:
+        """A :class:`~repro.queries.SensorRoster` over (a subset of) the
+        kernel's columns, sharing its stacked arrays.
+
+        ``indices`` selects candidate columns in order (default: all).
+        ``snapshots`` supplies the snapshot objects the roster should carry
+        — pass the slot's *current* announcement list whenever the kernel
+        may be a reused one (cross-slot reuse, the sequential baseline's
+        zero-cost re-announcements): the identity attributes are guaranteed
+        equal by :meth:`matches`, but announced costs live only on the
+        current snapshots.
+        """
+        source = self.sensors if snapshots is None else list(snapshots)
+        if indices is None:
+            return SensorRoster(source, self.sensor_xy, self.gamma, self.trust)
+        picked = [source[j] for j in indices]
+        return SensorRoster(
+            picked, self.sensor_xy[indices], self.gamma[indices], self.trust[indices]
+        )
 
     # ------------------------------------------------------------------
     # the matrix path (eq. 9/12 consumers: PointProblem, BILP, local search)

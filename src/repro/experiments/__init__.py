@@ -16,7 +16,14 @@ from .figures import (
 )
 from .reporting import ascii_chart, format_figure, format_metric_table
 from .robustness import ReplicatedResult, ordering_robustness, replicate
-from .runner import FigureResult, SeriesCollector, compare_scenarios, summary_metric
+from .runner import (
+    FigureResult,
+    SeriesCollector,
+    compare_scenarios,
+    parallel_map,
+    run_specs_parallel,
+    summary_metric,
+)
 from .validation import CHECKLISTS, CheckResult, validate_figure
 
 __all__ = [
@@ -27,6 +34,8 @@ __all__ = [
     "FigureResult",
     "SeriesCollector",
     "compare_scenarios",
+    "parallel_map",
+    "run_specs_parallel",
     "summary_metric",
     "format_figure",
     "format_metric_table",

@@ -37,7 +37,7 @@ from ..queries import (
 )
 from ..sensors import FleetConfig, FullTrust, UniformTrust
 from .config import ExperimentScale, get_scale
-from .runner import FigureResult, SeriesCollector
+from .runner import FigureResult, SeriesCollector, parallel_map
 
 __all__ = [
     "fig2",
@@ -60,6 +60,38 @@ _POINT_ALGORITHMS = {
 }
 
 
+def _point_sweep_cell(
+    scenario,
+    n_slots: int,
+    n_queries: int,
+    budget: float,
+    budget_spread: float,
+    algorithm: str,
+    rng_seed: int,
+) -> tuple[float, float]:
+    """One independent sweep cell: a full engine run for one (x, algorithm).
+
+    Module-level and fed only picklable arguments, so :func:`parallel_map`
+    can dispatch cells to worker processes; each cell seeds its own rng,
+    which makes parallel results bit-identical to the serial loop.
+    """
+    workload = PointQueryWorkload(
+        scenario.working_region,
+        n_queries=n_queries,
+        budget=float(budget),
+        budget_spread=budget_spread,
+        dmax=scenario.dmax,
+    )
+    engine = one_shot_engine(
+        scenario.make_fleet(),
+        workload,
+        _POINT_ALGORITHMS[algorithm](),
+        np.random.default_rng(rng_seed),
+    )
+    summary = engine.run(n_slots)
+    return summary.average_utility, summary.satisfaction_ratio
+
+
 def _point_sweep(
     figure: FigureResult,
     scenario,
@@ -68,43 +100,54 @@ def _point_sweep(
     seed: int,
     budget_spread: float = 0.0,
     n_queries: int | None = None,
+    max_workers: int | None = None,
 ) -> FigureResult:
     """Shared engine for Figures 2, 3, 4 and 6."""
     n_queries = scale.point_queries_per_slot if n_queries is None else n_queries
     with SeriesCollector(figure) as fig:
         fig.x_values = list(budgets)
-        for budget in budgets:
-            for name, factory in _POINT_ALGORITHMS.items():
-                workload = PointQueryWorkload(
-                    scenario.working_region,
-                    n_queries=n_queries,
-                    budget=float(budget),
-                    budget_spread=budget_spread,
-                    dmax=scenario.dmax,
-                )
-                engine = one_shot_engine(
-                    scenario.make_fleet(),
-                    workload,
-                    factory(),
-                    np.random.default_rng(seed + int(budget * 10)),
-                )
-                summary = engine.run(scale.n_slots)
-                fig.add(name, "avg_utility", summary.average_utility)
-                fig.add(name, "satisfaction_ratio", summary.satisfaction_ratio)
+        cells = [
+            (
+                scenario,
+                scale.n_slots,
+                n_queries,
+                float(budget),
+                budget_spread,
+                name,
+                seed + int(budget * 10),
+            )
+            for budget in budgets
+            for name in _POINT_ALGORITHMS
+        ]
+        results = parallel_map(_point_sweep_cell, cells, max_workers)
+        for cell, (avg_utility, satisfaction) in zip(cells, results):
+            name = cell[5]
+            fig.add(name, "avg_utility", avg_utility)
+            fig.add(name, "satisfaction_ratio", satisfaction)
     return fig
 
 
-def fig2(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult:
+def fig2(
+    scale: ExperimentScale | None = None,
+    seed: int = 2013,
+    max_workers: int | None = None,
+) -> FigureResult:
     """Figure 2: point queries on RWM — utility and satisfaction vs budget."""
     scale = scale or get_scale()
     scenario = build_rwm_scenario(seed, scale.rwm_sensors, scale.n_slots)
     figure = FigureResult(
         "fig2", "Single-sensor point queries, RWM", "query budget"
     )
-    return _point_sweep(figure, scenario, scale, scale.budgets, seed)
+    return _point_sweep(
+        figure, scenario, scale, scale.budgets, seed, max_workers=max_workers
+    )
 
 
-def fig3(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult:
+def fig3(
+    scale: ExperimentScale | None = None,
+    seed: int = 2013,
+    max_workers: int | None = None,
+) -> FigureResult:
     """Figure 3: point queries on RNC — utility and satisfaction vs budget."""
     scale = scale or get_scale()
     scenario = build_rnc_scenario(
@@ -113,10 +156,16 @@ def fig3(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
     figure = FigureResult(
         "fig3", "Single-sensor point queries, RNC", "query budget"
     )
-    return _point_sweep(figure, scenario, scale, scale.budgets, seed)
+    return _point_sweep(
+        figure, scenario, scale, scale.budgets, seed, max_workers=max_workers
+    )
 
 
-def fig4(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult:
+def fig4(
+    scale: ExperimentScale | None = None,
+    seed: int = 2013,
+    max_workers: int | None = None,
+) -> FigureResult:
     """Figure 4: RNC with budgets drawn uniformly in mean +- 10."""
     scale = scale or get_scale()
     scenario = build_rnc_scenario(
@@ -126,11 +175,16 @@ def fig4(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
         "fig4", "Uniformly distributed budgets, RNC", "mean query budget"
     )
     return _point_sweep(
-        figure, scenario, scale, scale.budgets, seed, budget_spread=10.0
+        figure, scenario, scale, scale.budgets, seed, budget_spread=10.0,
+        max_workers=max_workers,
     )
 
 
-def fig5(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult:
+def fig5(
+    scale: ExperimentScale | None = None,
+    seed: int = 2013,
+    max_workers: int | None = None,
+) -> FigureResult:
     """Figure 5: RNC, query budget fixed at 15, number of queries swept."""
     scale = scale or get_scale()
     scenario = build_rnc_scenario(
@@ -141,27 +195,24 @@ def fig5(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
     )
     with SeriesCollector(figure) as fig:
         fig.x_values = list(scale.query_counts)
-        for count in scale.query_counts:
-            for name, factory in _POINT_ALGORITHMS.items():
-                workload = PointQueryWorkload(
-                    scenario.working_region,
-                    n_queries=count,
-                    budget=15.0,
-                    dmax=scenario.dmax,
-                )
-                engine = one_shot_engine(
-                    scenario.make_fleet(),
-                    workload,
-                    factory(),
-                    np.random.default_rng(seed + count),
-                )
-                summary = engine.run(scale.n_slots)
-                fig.add(name, "avg_utility", summary.average_utility)
-                fig.add(name, "satisfaction_ratio", summary.satisfaction_ratio)
+        cells = [
+            (scenario, scale.n_slots, count, 15.0, 0.0, name, seed + count)
+            for count in scale.query_counts
+            for name in _POINT_ALGORITHMS
+        ]
+        results = parallel_map(_point_sweep_cell, cells, max_workers)
+        for cell, (avg_utility, satisfaction) in zip(cells, results):
+            name = cell[5]
+            fig.add(name, "avg_utility", avg_utility)
+            fig.add(name, "satisfaction_ratio", satisfaction)
     return fig
 
 
-def fig6(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult:
+def fig6(
+    scale: ExperimentScale | None = None,
+    seed: int = 2013,
+    max_workers: int | None = None,
+) -> FigureResult:
     """Figure 6: random privacy levels + linear energy cost, lifetime 50/25.
 
     Metrics carry a lifetime suffix: ``avg_utility_l50`` corresponds to
@@ -175,6 +226,7 @@ def fig6(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
     )
     with SeriesCollector(figure) as fig:
         fig.x_values = list(scale.budgets)
+        cells = []
         for lifetime in (50, 25):
             config = FleetConfig(
                 lifetime=lifetime,
@@ -187,26 +239,28 @@ def fig6(scale: ExperimentScale | None = None, seed: int = 2013) -> FigureResult
                 fleet_config=config,
             )
             for budget in scale.budgets:
-                for name, factory in _POINT_ALGORITHMS.items():
-                    workload = PointQueryWorkload(
-                        scenario.working_region,
-                        n_queries=scale.point_queries_per_slot,
-                        budget=float(budget),
-                        dmax=scenario.dmax,
+                for name in _POINT_ALGORITHMS:
+                    cells.append(
+                        (
+                            lifetime,
+                            (
+                                scenario,
+                                scale.n_slots,
+                                scale.point_queries_per_slot,
+                                float(budget),
+                                0.0,
+                                name,
+                                seed + int(budget * 10),
+                            ),
+                        )
                     )
-                    engine = one_shot_engine(
-                        scenario.make_fleet(),
-                        workload,
-                        factory(),
-                        np.random.default_rng(seed + int(budget * 10)),
-                    )
-                    summary = engine.run(scale.n_slots)
-                    fig.add(name, f"avg_utility_l{lifetime}", summary.average_utility)
-                    fig.add(
-                        name,
-                        f"satisfaction_ratio_l{lifetime}",
-                        summary.satisfaction_ratio,
-                    )
+        results = parallel_map(
+            _point_sweep_cell, [cell for _, cell in cells], max_workers
+        )
+        for (lifetime, cell), (avg_utility, satisfaction) in zip(cells, results):
+            name = cell[5]
+            fig.add(name, f"avg_utility_l{lifetime}", avg_utility)
+            fig.add(name, f"satisfaction_ratio_l{lifetime}", satisfaction)
     return fig
 
 

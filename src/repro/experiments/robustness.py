@@ -15,9 +15,16 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .config import ExperimentScale
-from .runner import FigureResult
+from .runner import FigureResult, parallel_map
 
 __all__ = ["ReplicatedResult", "replicate", "ordering_robustness"]
+
+
+def _replicate_cell(
+    figure_fn: Callable[..., FigureResult], scale: ExperimentScale, seed: int
+) -> FigureResult:
+    """Worker: one seed's figure run (module-level for process pools)."""
+    return figure_fn(scale, seed=seed)
 
 
 @dataclass
@@ -53,11 +60,19 @@ def replicate(
     figure_fn: Callable[..., FigureResult],
     scale: ExperimentScale,
     seeds: Sequence[int],
+    max_workers: int | None = None,
 ) -> ReplicatedResult:
-    """Run ``figure_fn(scale, seed=s)`` for every seed and aggregate."""
+    """Run ``figure_fn(scale, seed=s)`` for every seed and aggregate.
+
+    ``max_workers`` fans the replications out over a process pool — each
+    seed is a fully independent simulation, so this is embarrassingly
+    parallel and the aggregate is identical to the serial run.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
-    results = [figure_fn(scale, seed=int(s)) for s in seeds]
+    results = parallel_map(
+        _replicate_cell, [(figure_fn, scale, int(s)) for s in seeds], max_workers
+    )
     first = results[0]
     for r in results[1:]:
         if r.x_values != first.x_values:

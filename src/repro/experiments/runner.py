@@ -1,15 +1,32 @@
-"""Sweep plumbing shared by every figure reproduction."""
+"""Sweep plumbing shared by every figure reproduction.
+
+Besides the :class:`FigureResult` tabulation, this module owns the
+**parallel sweep executor**: figure sweeps decompose into independent
+cells (one engine run per sweep point × algorithm × replication), and
+:func:`parallel_map` fans those cells out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Workers are fed
+pickle-stable payloads — :class:`~repro.datasets.ScenarioSpec` dicts for
+declared scenarios (:func:`run_specs_parallel`), frozen
+:class:`~repro.datasets.Scenario` worlds plus plain parameters for the
+figure sweeps — so the ``spawn`` start method works on every platform,
+and each cell seeds its own generators, so parallel results are
+bit-identical to serial ones.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 __all__ = [
     "FigureResult",
     "SeriesCollector",
     "summary_metric",
+    "parallel_map",
+    "run_specs_parallel",
     "compare_scenarios",
 ]
 
@@ -94,24 +111,75 @@ def summary_metric(summary, name: str) -> float:
     raise ValueError(f"unknown summary metric {name!r}")
 
 
+def parallel_map(
+    fn: Callable,
+    argument_tuples: Sequence[tuple],
+    max_workers: int | None = None,
+    mp_context: str = "spawn",
+) -> list:
+    """``[fn(*args) for args in argument_tuples]``, optionally process-parallel.
+
+    Results come back in submission order.  With ``max_workers`` of ``None``
+    / ``0`` / ``1`` — or a single task — everything runs inline, so callers
+    keep one code path for both modes.  ``fn`` must be module-level and its
+    arguments picklable (``spawn`` is the default start method: slower to
+    boot but safe on every platform and immune to fork/threading hazards).
+    """
+    tasks = list(argument_tuples)
+    if not max_workers or max_workers <= 1 or len(tasks) <= 1:
+        return [fn(*args) for args in tasks]
+    context = multiprocessing.get_context(mp_context)
+    workers = min(max_workers, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        futures = [pool.submit(fn, *args) for args in tasks]
+        return [future.result() for future in futures]
+
+
+def _run_spec_payload(payload: dict, n_slots: int | None):
+    """Worker: rebuild a ScenarioSpec from its dict and run it."""
+    from ..datasets import ScenarioSpec
+
+    return ScenarioSpec.from_dict(payload).run(n_slots)
+
+
+def run_specs_parallel(
+    specs: Sequence,
+    n_slots: int | None = None,
+    max_workers: int | None = None,
+    mp_context: str = "spawn",
+) -> list:
+    """Run a batch of :class:`~repro.datasets.ScenarioSpec`, one process each.
+
+    Specs are shipped to the workers as their JSON-able dicts
+    (:meth:`~repro.datasets.ScenarioSpec.to_dict`), rebuilt and run there;
+    the returned :class:`~repro.core.SimulationSummary` list is aligned
+    with ``specs``.  Every spec pins its own world/workload seeds, so the
+    summaries are identical to a serial ``spec.run`` loop.
+    """
+    payloads = [(spec.to_dict(), n_slots) for spec in specs]
+    return parallel_map(_run_spec_payload, payloads, max_workers, mp_context)
+
+
 def compare_scenarios(
     specs: Sequence,
     n_slots: int | None = None,
     metrics: Sequence[str] = ("avg_utility", "satisfaction_ratio"),
+    max_workers: int | None = None,
 ) -> FigureResult:
     """Run a batch of :class:`~repro.datasets.ScenarioSpec` and tabulate.
 
     Each spec becomes one series (keyed by its ``name``) with a single x
     point per run — the declarative counterpart of the hand-written figure
-    sweeps, usable straight from the CLI or a notebook.
+    sweeps, usable straight from the CLI or a notebook.  ``max_workers``
+    fans the specs out over a process pool (:func:`run_specs_parallel`).
     """
     figure = FigureResult(
         "scenarios", "Declared scenario comparison", "run"
     )
     with SeriesCollector(figure) as fig:
         fig.x_values = [0]
-        for spec in specs:
-            summary = spec.run(n_slots)
+        summaries = run_specs_parallel(specs, n_slots, max_workers)
+        for spec, summary in zip(specs, summaries):
             for metric in metrics:
                 fig.add(spec.name, metric, summary_metric(summary, metric))
     return fig

@@ -1,7 +1,14 @@
 """Query model: one-shot and continuous query types plus workload generators."""
 
 from .aggregate import AggregateOp, SpatialAggregateQuery, TrajectoryQuery, sensor_quality
-from .base import Query, QueryType, ValuationState, new_query_id
+from .base import (
+    BatchGainState,
+    Query,
+    QueryType,
+    SensorRoster,
+    ValuationState,
+    new_query_id,
+)
 from .event import EventDetectionQuery, EventSlotQuery, detection_confidence
 from .monitoring import ContinuousQuery, LocationMonitoringQuery, RegionMonitoringQuery
 from .point import MultiSensorPointQuery, PointQuery, reading_quality
@@ -18,6 +25,8 @@ __all__ = [
     "Query",
     "QueryType",
     "ValuationState",
+    "SensorRoster",
+    "BatchGainState",
     "new_query_id",
     "PointQuery",
     "MultiSensorPointQuery",

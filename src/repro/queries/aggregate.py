@@ -32,7 +32,7 @@ from ..spatial import (
     Trajectory,
     TrajectoryCoverage,
 )
-from .base import Query, QueryType, ValuationState
+from .base import BatchGainState, Query, QueryType, SensorRoster, ValuationState
 
 __all__ = ["AggregateOp", "SpatialAggregateQuery", "TrajectoryQuery", "sensor_quality"]
 
@@ -56,6 +56,50 @@ def sensor_quality(snapshot: SensorSnapshot) -> float:
     and trust terms: ``theta_s = (1 - gamma_s) * tau_s``.
     """
     return (1.0 - snapshot.inaccuracy) * snapshot.trust
+
+
+class _CoverageBatch(BatchGainState):
+    """Aggregate-query batch gains via a stacked coverage-mask matrix.
+
+    Built once per allocator call: an ``(n_relevant, n_cells)`` boolean
+    matrix of per-candidate coverage masks plus the ``(1-gamma)*tau``
+    quality column.  A :meth:`gain_many` round is then pure boolean/array
+    arithmetic against the live state's accumulated mask — integer cell
+    counts and the exact eq.-(5) operation order keep every gain
+    bit-identical to the scalar :meth:`_CoverageState.gain`.
+    """
+
+    def __init__(self, state: "_CoverageState", roster: SensorRoster) -> None:
+        super().__init__(state, roster)
+        query = state.query
+        relevant = roster.relevance_row(query)
+        self._relevant = relevant
+        # Row index into the mask matrix per roster column (-1: irrelevant).
+        self._mask_row = np.full(roster.n_sensors, -1, dtype=np.intp)
+        rel_idx = np.flatnonzero(relevant)
+        self._mask_row[rel_idx] = np.arange(len(rel_idx))
+        self._masks = query.coverage.masks_for(
+            [roster.snapshots[j].location for j in rel_idx]
+        )
+        self._quality = (1.0 - roster.gamma) * roster.trust
+
+    def gain_many(self, indices: np.ndarray) -> np.ndarray:
+        state = self.state
+        query = state.query
+        n_cells = query.coverage.cell_count
+        count = len(state.selected) + 1
+        base_covered = int(state._mask.sum())
+        counts = np.full(len(indices), base_covered, dtype=np.int64)
+        quality_sums = np.full(len(indices), state._quality_sum, dtype=float)
+        rel_pos = np.flatnonzero(self._relevant[indices])
+        if rel_pos.size:
+            rel_cols = indices[rel_pos]
+            rows = self._masks[self._mask_row[rel_cols]]
+            counts[rel_pos] += (rows & ~state._mask).sum(axis=1)
+            quality_sums[rel_pos] = state._quality_sum + self._quality[rel_cols]
+        coverage = counts / n_cells if n_cells else np.zeros(len(indices))
+        value_new = (query.budget * coverage) * (quality_sums / count)
+        return value_new - state.value
 
 
 class _CoverageState(ValuationState):
@@ -97,6 +141,9 @@ class _CoverageState(ValuationState):
         self.selected.append(snapshot)
         self.value = self._value_with(None, None)
         return self.value - before
+
+    def batch(self, roster: SensorRoster) -> BatchGainState:
+        return _CoverageBatch(self, roster)
 
 
 class SpatialAggregateQuery(Query):

@@ -11,6 +11,19 @@ aggregator relies on the end users to provide a valuation function
   algorithms can evaluate marginal gains without recomputing ``v_q`` from
   scratch (the default state does exactly that recomputation; performance-
   critical query types override it).
+
+On top of the scalar interface sits the **batch-gain protocol**: an
+allocator stacks one slot's candidate announcements into a
+:class:`SensorRoster` and asks each live :class:`ValuationState` for a
+:class:`BatchGainState` (:meth:`ValuationState.batch`).  The batch state
+evaluates the query's marginal gain against *many* candidate sensors in a
+single vectorized pass (:meth:`BatchGainState.gain_many`), while the
+underlying scalar state remains the source of truth for commits
+(:meth:`ValuationState.add`) — batch states read the live scalar state on
+every call, so no synchronization hooks are needed.  The default batch
+state simply loops over :meth:`ValuationState.gain`, which keeps arbitrary
+user-provided valuation functions correct; the built-in query types
+override it with closed-form vectorizations.
 """
 
 from __future__ import annotations
@@ -20,9 +33,18 @@ import enum
 import itertools
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..sensors import SensorSnapshot
 
-__all__ = ["QueryType", "Query", "ValuationState", "new_query_id"]
+__all__ = [
+    "QueryType",
+    "Query",
+    "ValuationState",
+    "SensorRoster",
+    "BatchGainState",
+    "new_query_id",
+]
 
 _query_counter = itertools.count()
 
@@ -52,6 +74,97 @@ class QueryType(enum.Enum):
         )
 
 
+class SensorRoster:
+    """One allocator call's candidate sensors, stacked for batch gains.
+
+    The roster fixes a *column order* — every array a batch state produces
+    is indexed by position in ``snapshots`` — and shares the stacked
+    coordinate/inaccuracy/trust arrays across all the call's batch states,
+    so each query type vectorizes against the same memory.
+
+    Attributes:
+        snapshots: the candidates, defining the column order.
+        xy: ``(n, 2)`` candidate coordinates.
+        gamma: per-candidate inaccuracy ``gamma_s``.
+        trust: per-candidate trust ``tau_s``.
+        value_rows: optional precomputed single-sensor value rows keyed by
+            query id (allocators with a slot
+            :class:`~repro.core.valuation.ValuationKernel` fill this with
+            one ``single_values`` block for all plain point queries instead
+            of re-deriving each row).
+        relevance_rows: optional precomputed boolean relevance rows keyed
+            by query id — allocators that already screened ``Q_{l_s}``
+            park the rows here so batch states don't re-run the scalar
+            ``Query.relevant`` per candidate.
+    """
+
+    def __init__(
+        self,
+        snapshots: Sequence[SensorSnapshot],
+        xy: np.ndarray | None = None,
+        gamma: np.ndarray | None = None,
+        trust: np.ndarray | None = None,
+    ) -> None:
+        self.snapshots = list(snapshots)
+        n = len(self.snapshots)
+        if xy is None:
+            xy = np.empty((n, 2), dtype=float)
+            gamma = np.empty(n, dtype=float)
+            trust = np.empty(n, dtype=float)
+            for j, snapshot in enumerate(self.snapshots):
+                xy[j, 0] = snapshot.location.x
+                xy[j, 1] = snapshot.location.y
+                gamma[j] = snapshot.inaccuracy
+                trust[j] = snapshot.trust
+        self.xy = xy
+        self.gamma = gamma
+        self.trust = trust
+        self.value_rows: dict[str, np.ndarray] = {}
+        self.relevance_rows: dict[str, np.ndarray] = {}
+
+    def relevance_row(self, query: "Query") -> np.ndarray:
+        """This query's boolean relevance over the roster (cached)."""
+        row = self.relevance_rows.get(query.query_id)
+        if row is None:
+            row = np.fromiter(
+                (query.relevant(s) for s in self.snapshots), bool, self.n_sensors
+            )
+            self.relevance_rows[query.query_id] = row
+        return row
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def all_indices(self) -> np.ndarray:
+        return np.arange(self.n_sensors, dtype=np.intp)
+
+
+class BatchGainState:
+    """Vectorized marginal-gain view of one query over a fixed roster.
+
+    The base implementation falls back to the scalar
+    :meth:`ValuationState.gain` per candidate — always correct, never
+    fast.  Built-in query types return closed-form subclasses from
+    :meth:`ValuationState.batch`.
+
+    Batch states hold a reference to the *live* scalar state and re-read
+    it on every :meth:`gain_many` call, so commits through
+    :meth:`ValuationState.add` are picked up automatically.
+    """
+
+    def __init__(self, state: "ValuationState", roster: SensorRoster) -> None:
+        self.state = state
+        self.roster = roster
+
+    def gain_many(self, indices: np.ndarray) -> np.ndarray:
+        """Marginal gains of ``roster.snapshots[j]`` for each ``j`` in order."""
+        gain = self.state.gain
+        snapshots = self.roster.snapshots
+        return np.asarray([gain(snapshots[j]) for j in indices], dtype=float)
+
+
 class ValuationState:
     """Incremental evaluation of ``v_q`` while a greedy algorithm grows a set.
 
@@ -76,6 +189,10 @@ class ValuationState:
         self.selected.append(snapshot)
         self.value += gain
         return gain
+
+    def batch(self, roster: SensorRoster) -> BatchGainState:
+        """A vectorized gain evaluator over ``roster`` (scalar fallback)."""
+        return BatchGainState(self, roster)
 
 
 class Query(abc.ABC):

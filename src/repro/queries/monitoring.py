@@ -240,7 +240,11 @@ class RegionMonitoringQuery(ContinuousQuery):
         self.cells = list(region.grid_cells(cell_size))
         if not self.cells:
             raise ValueError("region rasterizes to zero cells")
-        self.used_sensors: list[tuple[Location, float]] = []  # q.S with qualities
+        # q.S is aggregated online (count + quality sum): a query's sensor
+        # log grows by the full selected set every slot, so a month-long
+        # monitoring query would otherwise hold an unbounded list.
+        self.used_sensor_count = 0
+        self.used_quality_sum = 0.0
         self.slot_values: list[float] = []
         self.slot_planned_values: list[float] = []
 
@@ -285,7 +289,8 @@ class RegionMonitoringQuery(ContinuousQuery):
         self.slot_values.append(value)
         self.slot_planned_values.append(planned_value)
         self.spent += payment
-        self.used_sensors.extend((s.location, sensor_quality(s)) for s in achieved)
+        self.used_sensor_count += len(achieved)
+        self.used_quality_sum += sum(sensor_quality(s) for s in achieved)
         return value
 
     def quality_of_results(self) -> float:

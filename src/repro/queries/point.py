@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..sensors import SensorSnapshot
 from ..spatial import Location
-from .base import Query, QueryType, ValuationState
+from .base import BatchGainState, Query, QueryType, SensorRoster, ValuationState
 
 __all__ = ["reading_quality", "PointQuery", "MultiSensorPointQuery"]
 
@@ -37,6 +39,42 @@ def reading_quality(snapshot: SensorSnapshot, location: Location, dmax: float) -
     return (1.0 - snapshot.inaccuracy) * (1.0 - distance / dmax) * snapshot.trust
 
 
+def _quality_row(location: Location, dmax: float, roster: SensorRoster) -> np.ndarray:
+    """Vectorized :func:`reading_quality` over a roster's candidates.
+
+    Same operation sequence as the scalar path (``(1-gamma) * (1-d/dmax)``
+    then ``* tau``, zeroed beyond ``dmax``); distances go through
+    ``np.hypot`` where the scalar path uses ``math.hypot``, which may
+    differ in the final ulp (see :mod:`repro.core.valuation`).
+    """
+    dist = np.hypot(roster.xy[:, 0] - location.x, roster.xy[:, 1] - location.y)
+    theta = (1.0 - roster.gamma) * (1.0 - dist / dmax)
+    theta *= roster.trust
+    theta[dist > dmax] = 0.0
+    return theta
+
+
+def _single_value_row(query: "PointQuery", roster: SensorRoster) -> np.ndarray:
+    """Eq. (3) value row for one query — `ValuationKernel.single_values`
+    restricted to a roster, for allocators without a slot kernel block."""
+    theta = _quality_row(query.location, query.dmax, roster)
+    values = query.budget * theta
+    values[theta < query.theta_min] = 0.0
+    return values
+
+
+class _BestSensorBatch(BatchGainState):
+    """Point-query batch gains: one value row clipped at the current best."""
+
+    def __init__(self, state: "_BestSensorState", roster: SensorRoster) -> None:
+        super().__init__(state, roster)
+        row = roster.value_rows.get(state.query.query_id)
+        self._row = row if row is not None else _single_value_row(state.query, roster)
+
+    def gain_many(self, indices: np.ndarray) -> np.ndarray:
+        return np.maximum(self._row[indices] - self.state.value, 0.0)
+
+
 class _BestSensorState(ValuationState):
     """O(1) incremental state for max-semantics point queries."""
 
@@ -48,6 +86,50 @@ class _BestSensorState(ValuationState):
         self.selected.append(snapshot)
         self.value += gain
         return gain
+
+    def batch(self, roster: SensorRoster) -> BatchGainState:
+        return _BestSensorBatch(self, roster)
+
+
+class _TopKBatch(BatchGainState):
+    """Multi-sensor point-query batch gains: vectorized top-k average.
+
+    Re-sorts the (small) selected-quality list against every candidate
+    quality at once and sums the k best columns *sequentially*, which
+    replicates the scalar ``sum(sorted(...)[:k])`` addition order exactly;
+    only the candidate quality itself can differ from the scalar path in
+    the final ulp (``np.hypot`` vs ``math.hypot``).
+    """
+
+    def __init__(self, state: "_TopKState", roster: SensorRoster) -> None:
+        super().__init__(state, roster)
+        query = state.query
+        theta = _quality_row(query.location, query.dmax, roster)
+        theta[theta < query.theta_min] = 0.0
+        self._qualities = theta
+
+    def gain_many(self, indices: np.ndarray) -> np.ndarray:
+        state = self.state
+        query = state.query
+        selected = [query.quality(s) for s in state.selected]
+        m = len(selected)
+        stacked = np.empty((len(indices), m + 1), dtype=float)
+        stacked[:, :m] = selected
+        stacked[:, m] = self._qualities[indices]
+        stacked = np.sort(stacked, axis=1)[:, ::-1]
+        k = min(query.n_readings, m + 1)
+        total = stacked[:, 0].copy()
+        for j in range(1, k):
+            total += stacked[:, j]
+        value_new = query.budget * total / query.n_readings
+        return value_new - state.value
+
+
+class _TopKState(ValuationState):
+    """Generic scalar state for multi-sensor point queries, plus batch gains."""
+
+    def batch(self, roster: SensorRoster) -> BatchGainState:
+        return _TopKBatch(self, roster)
 
 
 class PointQuery(Query):
@@ -170,3 +252,6 @@ class MultiSensorPointQuery(Query):
 
     def relevant(self, snapshot: SensorSnapshot) -> bool:
         return self.quality(snapshot) > 0.0
+
+    def new_state(self) -> ValuationState:
+        return _TopKState(self)

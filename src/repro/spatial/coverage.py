@@ -45,10 +45,29 @@ class CoverageFunction:
         """
         raise NotImplementedError
 
+    def masks_for(self, locations: Sequence[Location]) -> np.ndarray:
+        """Stacked per-sensor masks, shape ``(len(locations), cell_count)``.
+
+        Row ``i`` equals ``mask_for(locations[i])``; batch-gain states build
+        this matrix once per allocator call and evaluate every candidate's
+        coverage delta with a single boolean pass.  The default loops over
+        :meth:`mask_for`; the built-in rasterized functions broadcast.
+        """
+        if not locations:
+            return np.zeros((0, self.cell_count), dtype=bool)
+        return np.stack([self.mask_for(location) for location in locations])
+
     @property
     def cell_count(self) -> int:
         """Number of rasterized cells/points behind the function."""
         raise NotImplementedError
+
+
+def _distance_matrix(cells: np.ndarray, sensor_locations: Sequence[Location]) -> np.ndarray:
+    """``(n_cells, n_sensors)`` distances, the shared mask-building pass."""
+    sensors = np.asarray([(s.x, s.y) for s in sensor_locations], dtype=float)
+    diff = cells[:, None, :] - sensors[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
 
 
 def _cover_matrix(
@@ -57,10 +76,17 @@ def _cover_matrix(
     """Boolean vector: cell i is within ``sensing_range`` of some sensor."""
     if len(sensor_locations) == 0 or cells.size == 0:
         return np.zeros(len(cells), dtype=bool)
-    sensors = np.asarray([(s.x, s.y) for s in sensor_locations], dtype=float)
-    diff = cells[:, None, :] - sensors[None, :, :]
-    dist = np.sqrt((diff**2).sum(axis=2))
-    return (dist <= sensing_range).any(axis=1)
+    return (_distance_matrix(cells, sensor_locations) <= sensing_range).any(axis=1)
+
+
+def _mask_matrix(
+    cells: np.ndarray, sensor_locations: Sequence[Location], sensing_range: float
+) -> np.ndarray:
+    """``(n_sensors, n_cells)`` stacked masks — one :func:`_cover_matrix`
+    column per sensor, computed in a single broadcasted pass."""
+    if len(sensor_locations) == 0 or cells.size == 0:
+        return np.zeros((len(sensor_locations), len(cells)), dtype=bool)
+    return (_distance_matrix(cells, sensor_locations) <= sensing_range).T
 
 
 @dataclass
@@ -97,6 +123,9 @@ class AreaCoverage(CoverageFunction):
 
     def mask_for(self, location: Location) -> np.ndarray:
         return _cover_matrix(self._cells, [location], self.sensing_range)
+
+    def masks_for(self, locations: Sequence[Location]) -> np.ndarray:
+        return _mask_matrix(self._cells, locations, self.sensing_range)
 
     @property
     def cell_count(self) -> int:
@@ -138,6 +167,9 @@ class WeightedCoverage(CoverageFunction):
     def mask_for(self, location: Location) -> np.ndarray:
         return _cover_matrix(self._cells, [location], self.sensing_range)
 
+    def masks_for(self, locations: Sequence[Location]) -> np.ndarray:
+        return _mask_matrix(self._cells, locations, self.sensing_range)
+
     @property
     def cell_count(self) -> int:
         return len(self._cells)
@@ -175,6 +207,9 @@ class TrajectoryCoverage(CoverageFunction):
 
     def mask_for(self, location: Location) -> np.ndarray:
         return _cover_matrix(self._cells, [location], self.sensing_range)
+
+    def masks_for(self, locations: Sequence[Location]) -> np.ndarray:
+        return _mask_matrix(self._cells, locations, self.sensing_range)
 
     @property
     def cell_count(self) -> int:

@@ -247,7 +247,7 @@ class TestMixEngineComposition:
         )
         summary = engine.run(4)
         assert summary.n_slots == 4
-        assert "location_monitoring" in summary.quality_samples
+        assert "location_monitoring" in summary.quality_stats
         assert all("lm_samples" in r.extras for r in summary.slots)
         # only the point stream counts towards issued
         assert all(r.issued <= 8 for r in summary.slots)

@@ -77,8 +77,8 @@ class TestOneShotSimulation:
         assert summary.n_slots == 4
         assert 0.0 <= summary.satisfaction_ratio <= 1.0
         assert summary.total_queries == 120
-        for q in summary.quality_samples.get("point", []):
-            assert 0.0 <= q <= 1.0
+        assert summary.quality_count("point") > 0
+        assert 0.0 <= summary.average_quality("point") <= 1.0
 
     def test_sensor_lifetime_is_booked(self):
         fleet = SCENARIO.make_fleet()
@@ -165,7 +165,7 @@ class TestRegionMonitoringSimulation:
         )
         summary = sim.run(6)
         assert summary.n_slots == 6
-        assert "region_monitoring" in summary.quality_samples
+        assert "region_monitoring" in summary.quality_stats
 
 
 class TestMixSimulation:
@@ -197,4 +197,4 @@ class TestMixSimulation:
 
     def test_mix_tracks_per_type_quality(self):
         summary = self._sim(MixAllocator()).run(5)
-        assert "location_monitoring" in summary.quality_samples
+        assert "location_monitoring" in summary.quality_stats

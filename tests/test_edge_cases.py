@@ -136,4 +136,4 @@ class TestMixWithRegionMonitoring:
         )
         summary = sim.run(6)
         assert summary.n_slots == 6
-        assert "region_monitoring" in summary.quality_samples
+        assert "region_monitoring" in summary.quality_stats

@@ -61,9 +61,11 @@ def assert_summaries_equal(new: SimulationSummary, old: SimulationSummary) -> No
         assert set(got.extras) == set(want.extras)
         for key, value in want.extras.items():
             assert got.extras[key] == pytest.approx(value, **APPROX)
-    assert set(new.quality_samples) == set(old.quality_samples)
-    for label, samples in old.quality_samples.items():
-        assert new.quality_samples[label] == pytest.approx(samples, **APPROX)
+    assert set(new.quality_stats) == set(old.quality_stats)
+    for label, stat in old.quality_stats.items():
+        assert new.quality_stats[label].count == stat.count
+        assert new.quality_stats[label].total == pytest.approx(stat.total, **APPROX)
+        assert new.quality_stats[label].m2 == pytest.approx(stat.m2, abs=1e-9)
     assert new.total_queries == old.total_queries
     assert new.positive_utility_queries == old.positive_utility_queries
     assert new.average_utility == pytest.approx(old.average_utility, **APPROX)

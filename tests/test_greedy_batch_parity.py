@@ -1,0 +1,325 @@
+"""Batch-gain protocol parity: ``gain_many`` vs scalar ``gain``, and the
+vectorized greedy vs the scalar reference path.
+
+Tolerances follow the documented numerics: aggregate/trajectory batch
+states replicate the scalar operation sequence exactly (bit-equal), while
+point-flavoured states go through ``np.hypot`` where the scalar path uses
+``math.hypot`` — documented to differ only in the final ulp, asserted here
+at 1e-12 relative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import make_point_query, make_snapshot
+from repro.core import (
+    GreedyAllocator,
+    ValuationKernel,
+    location_monitoring_engine,
+    one_shot_engine,
+    region_monitoring_engine,
+)
+from repro.core.engine import mix_engine
+from repro.datasets import (
+    build_intel_scenario,
+    build_ozone_dataset,
+    build_rwm_scenario,
+)
+from repro.queries import (
+    AggregateQueryWorkload,
+    EventSlotQuery,
+    LocationMonitoringWorkload,
+    MultiSensorPointQuery,
+    PointQuery,
+    PointQueryWorkload,
+    RegionMonitoringWorkload,
+    SensorRoster,
+    SpatialAggregateQuery,
+    TrajectoryQuery,
+)
+from repro.spatial import Location, Region, Trajectory
+
+ULP_TOLERANCE = dict(rel=1e-12, abs=1e-12)
+
+
+def random_sensors(rng, n=25, side=20.0):
+    return [
+        make_snapshot(
+            i,
+            x=float(rng.uniform(0, side)),
+            y=float(rng.uniform(0, side)),
+            cost=float(rng.uniform(1, 10)),
+            inaccuracy=float(rng.uniform(0, 0.2)),
+            trust=float(rng.uniform(0.5, 1.0)),
+        )
+        for i in range(n)
+    ]
+
+
+def queries_of_every_type(rng):
+    region = Region.from_origin(20, 20)
+    sub = Region.random_subregion(region, rng, min_side=5, max_side=12)
+    trajectory = Trajectory([Location(2, 2), Location(10, 12), Location(18, 6)])
+    return [
+        PointQuery(Location(5, 5), budget=15.0, dmax=8.0),
+        MultiSensorPointQuery(Location(12, 9), budget=25.0, n_readings=3, dmax=9.0),
+        SpatialAggregateQuery(
+            sub, budget=40.0, sensing_range=6.0, coverage_radius=3.0
+        ),
+        TrajectoryQuery(trajectory, budget=35.0, sensing_range=4.0),
+        EventSlotQuery(
+            Location(8, 14), budget=20.0, required_confidence=0.9,
+            theta_min=0.1, dmax=7.0, parent_id="ev-parent",
+        ),
+    ]
+
+
+class TestPerPairGainParity:
+    """``gain_many`` must agree with scalar ``gain`` for every pair."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("query_index", range(5))
+    def test_gain_many_matches_scalar(self, seed, query_index):
+        rng = np.random.default_rng(seed)
+        sensors = random_sensors(rng)
+        query = queries_of_every_type(rng)[query_index]
+        roster = SensorRoster(sensors)
+        state = query.new_state()
+        # Compare on the empty state and as the selected set grows.
+        commit_order = rng.permutation(len(sensors))[:3]
+        for step in range(len(commit_order) + 1):
+            batch = state.batch(roster)
+            got = batch.gain_many(roster.all_indices)
+            want = np.array([state.gain(s) for s in sensors])
+            assert got == pytest.approx(want, **ULP_TOLERANCE)
+            if step < len(commit_order):
+                state.add(sensors[commit_order[step]])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_gain_many_respects_arbitrary_index_subsets(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        sensors = random_sensors(rng)
+        roster = SensorRoster(sensors)
+        for query in queries_of_every_type(rng):
+            state = query.new_state()
+            state.add(sensors[0])
+            batch = state.batch(roster)
+            subset = np.asarray(sorted(rng.permutation(len(sensors))[:7]), dtype=np.intp)
+            got = batch.gain_many(subset)
+            want = np.array([state.gain(sensors[j]) for j in subset])
+            assert got == pytest.approx(want, **ULP_TOLERANCE)
+
+    def test_point_rows_from_kernel_block_match(self):
+        """The precomputed ``single_values`` block equals the self-derived row."""
+        rng = np.random.default_rng(7)
+        sensors = random_sensors(rng)
+        queries = [
+            make_point_query(
+                x=float(rng.uniform(0, 20)), y=float(rng.uniform(0, 20)),
+                budget=15.0, dmax=8.0,
+            )
+            for _ in range(6)
+        ]
+        kernel = ValuationKernel.from_sensors(sensors)
+        block = kernel.single_values(queries)
+        roster = kernel.roster()
+        for i, query in enumerate(queries):
+            state = query.new_state()
+            plain = state.batch(roster).gain_many(roster.all_indices)
+            roster.value_rows[query.query_id] = block[i]
+            primed = state.batch(roster).gain_many(roster.all_indices)
+            assert np.array_equal(plain, primed)
+
+
+def exact_allocation_parity(queries, sensors, kernel=None):
+    vectorized = GreedyAllocator().allocate(queries, sensors, kernel=kernel)
+    scalar = GreedyAllocator(vectorized=False).allocate(queries, sensors, kernel=kernel)
+    assert vectorized.assignments == scalar.assignments
+    assert set(vectorized.selected) == set(scalar.selected)
+    assert vectorized.values.keys() == scalar.values.keys()
+    for qid, value in scalar.values.items():
+        assert vectorized.values[qid] == pytest.approx(value, **ULP_TOLERANCE)
+    assert vectorized.payments.keys() == scalar.payments.keys()
+    for key, payment in scalar.payments.items():
+        assert vectorized.payments[key] == pytest.approx(payment, **ULP_TOLERANCE)
+    return vectorized
+
+
+class TestAllocatorParity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_mixed_instances(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        sensors = random_sensors(rng, n=30)
+        queries = [
+            make_point_query(
+                x=float(rng.uniform(0, 20)), y=float(rng.uniform(0, 20)),
+                budget=float(rng.uniform(5, 25)), dmax=6.0,
+            )
+            for _ in range(8)
+        ] + queries_of_every_type(rng)
+        exact_allocation_parity(queries, sensors)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_prebuilt_kernel(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        sensors = random_sensors(rng, n=30)
+        kernel = ValuationKernel.from_sensors(sensors)
+        queries = [
+            make_point_query(
+                x=float(rng.uniform(0, 20)), y=float(rng.uniform(0, 20)),
+                budget=float(rng.uniform(5, 25)), dmax=6.0,
+            )
+            for _ in range(10)
+        ]
+        exact_allocation_parity(queries, sensors, kernel)
+
+    def test_reused_kernel_takes_costs_from_current_announcements(self):
+        """A kernel reused across re-pricing must not leak stale costs."""
+        queries = [make_point_query(x=0, y=0, budget=20.0, theta_min=0.0)]
+        original = [make_snapshot(0, x=0, y=0, cost=5.0)]
+        kernel = ValuationKernel.from_sensors(original)
+        repriced = [make_snapshot(0, x=0, y=0, cost=1.0)]
+        assert kernel.matches(repriced)
+        result = GreedyAllocator().allocate(queries, repriced, kernel=kernel)
+        assert result.selected[0].cost == 1.0
+        assert result.sensor_income(0) == pytest.approx(1.0)
+
+
+def summaries_equal(a, b):
+    assert a.n_slots == b.n_slots
+    for got, want in zip(a.slots, b.slots):
+        assert got.slot == want.slot
+        assert got.issued == want.issued
+        assert got.answered == want.answered
+        assert got.value == pytest.approx(want.value, **ULP_TOLERANCE)
+        assert got.cost == pytest.approx(want.cost, **ULP_TOLERANCE)
+        assert got.qualities == pytest.approx(want.qualities, **ULP_TOLERANCE)
+    assert set(a.quality_stats) == set(b.quality_stats)
+    for label, stat in b.quality_stats.items():
+        assert a.quality_stats[label].count == stat.count
+        assert a.quality_stats[label].total == pytest.approx(stat.total, **ULP_TOLERANCE)
+    assert a.total_queries == b.total_queries
+    assert a.positive_utility_queries == b.positive_utility_queries
+
+
+class TestEndToEndFigureFamilies:
+    """Vectorized vs scalar greedy through all four figure families."""
+
+    SEED = 321
+    N_SLOTS = 5
+
+    def _engines(self, family):
+        scenario = build_rwm_scenario(self.SEED, n_sensors=60, n_slots=10)
+        engines = []
+        for vectorized in (True, False):
+            allocator = GreedyAllocator(vectorized=vectorized)
+            rng = np.random.default_rng(self.SEED)
+            if family == "point":
+                workload = PointQueryWorkload(
+                    scenario.working_region, n_queries=30, budget=15.0,
+                    dmax=scenario.dmax,
+                )
+                engines.append(
+                    one_shot_engine(scenario.make_fleet(), workload, allocator, rng)
+                )
+            elif family == "aggregate":
+                workload = AggregateQueryWorkload(
+                    scenario.working_region, budget_factor=15.0, mean_queries=4,
+                    count_spread=2, sensing_range=scenario.dmax,
+                )
+                engines.append(
+                    one_shot_engine(scenario.make_fleet(), workload, allocator, rng)
+                )
+            elif family == "location_monitoring":
+                ozone = build_ozone_dataset(self.SEED)
+                workload = LocationMonitoringWorkload(
+                    scenario.working_region, ozone.values, ozone.model(),
+                    budget_factor=15.0, max_live=6, arrivals_per_slot=2,
+                    duration_range=(2, 5), dmax=scenario.dmax,
+                )
+                engines.append(
+                    location_monitoring_engine(
+                        scenario.make_fleet(), workload, allocator, rng
+                    )
+                )
+            else:  # region_monitoring
+                world = build_intel_scenario(self.SEED, n_sensors=40, n_slots=10)
+                workload = RegionMonitoringWorkload(
+                    world.scenario.working_region, world.gp, budget_factor=15.0,
+                    duration_range=(2, 4), sensing_radius=world.scenario.dmax,
+                )
+                engines.append(
+                    region_monitoring_engine(
+                        world.scenario.make_fleet(), workload, allocator, rng
+                    )
+                )
+        return engines
+
+    @pytest.mark.parametrize(
+        "family", ["point", "aggregate", "location_monitoring", "region_monitoring"]
+    )
+    def test_family_parity(self, family):
+        vectorized_engine, scalar_engine = self._engines(family)
+        summaries_equal(
+            vectorized_engine.run(self.N_SLOTS), scalar_engine.run(self.N_SLOTS)
+        )
+
+    def test_mix_family_parity(self):
+        """Algorithm 5's joint mix slot, vectorized vs scalar greedy."""
+        scenario = build_rwm_scenario(self.SEED, n_sensors=50, n_slots=10)
+        ozone = build_ozone_dataset(self.SEED)
+        summaries = []
+        for vectorized in (True, False):
+            point_wl = PointQueryWorkload(
+                scenario.working_region, n_queries=20, budget=15.0,
+                dmax=scenario.dmax,
+            )
+            agg_wl = AggregateQueryWorkload(
+                scenario.working_region, budget_factor=15.0, mean_queries=3,
+                count_spread=1, sensing_range=scenario.dmax,
+            )
+            lm_wl = LocationMonitoringWorkload(
+                scenario.working_region, ozone.values, ozone.model(),
+                budget_factor=15.0, max_live=5, arrivals_per_slot=2,
+                duration_range=(2, 4), dmax=scenario.dmax,
+            )
+            engine = mix_engine(
+                scenario.make_fleet(), point_wl, agg_wl, lm_wl,
+                np.random.default_rng(self.SEED),
+                joint=GreedyAllocator(vectorized=vectorized),
+            )
+            summaries.append(engine.run(self.N_SLOTS))
+        summaries_equal(summaries[0], summaries[1])
+
+    def test_sequential_buffered_stage2_sees_zero_costs(self):
+        """The buffered baseline re-announces stage-1 sensors at zero cost;
+        the vectorized greedy must honor the re-priced snapshots even
+        though the slot kernel was built from the originally priced ones."""
+        scenario = build_rwm_scenario(self.SEED, n_sensors=50, n_slots=10)
+        ozone = build_ozone_dataset(self.SEED)
+        summaries = []
+        for vectorized in (True, False):
+            point_wl = PointQueryWorkload(
+                scenario.working_region, n_queries=20, budget=15.0,
+                dmax=scenario.dmax,
+            )
+            agg_wl = AggregateQueryWorkload(
+                scenario.working_region, budget_factor=15.0, mean_queries=3,
+                count_spread=1, sensing_range=scenario.dmax,
+            )
+            lm_wl = LocationMonitoringWorkload(
+                scenario.working_region, ozone.values, ozone.model(),
+                budget_factor=15.0, max_live=5, arrivals_per_slot=2,
+                duration_range=(2, 4), dmax=scenario.dmax,
+            )
+            engine = mix_engine(
+                scenario.make_fleet(), point_wl, agg_wl, lm_wl,
+                np.random.default_rng(self.SEED),
+                sequential=True,
+                stage1_allocator=GreedyAllocator(vectorized=vectorized),
+                stage2_allocator=GreedyAllocator(vectorized=vectorized),
+            )
+            summaries.append(engine.run(self.N_SLOTS))
+        summaries_equal(summaries[0], summaries[1])

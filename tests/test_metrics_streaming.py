@@ -1,0 +1,107 @@
+"""Streaming summary aggregation: RunningStat and the keep_samples opt-in."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RunningStat, SimulationSummary
+from repro.core.engine import one_shot_engine
+from repro.core.greedy import GreedyAllocator
+from repro.datasets import build_rwm_scenario
+from repro.queries import PointQueryWorkload
+
+
+class TestRunningStat:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_batch_statistics(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.uniform(0, 2, size=137)
+        stat = RunningStat()
+        for x in samples:
+            stat.add(float(x))
+        assert stat.count == len(samples)
+        # The running sum accumulates left-to-right — identical to sum().
+        assert stat.total == float(sum(float(x) for x in samples))
+        assert stat.mean == pytest.approx(float(np.mean(samples)), rel=1e-12)
+        assert stat.variance == pytest.approx(float(np.var(samples)), rel=1e-9)
+        assert stat.stdev == pytest.approx(float(np.std(samples)), rel=1e-9)
+
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+        assert stat.stdev == 0.0
+
+    @pytest.mark.parametrize("split", [0, 1, 40, 99, 100])
+    def test_merge_equals_single_stream(self, split):
+        rng = np.random.default_rng(42)
+        samples = [float(x) for x in rng.uniform(0, 3, size=100)]
+        left, right = RunningStat(), RunningStat()
+        for x in samples[:split]:
+            left.add(x)
+        for x in samples[split:]:
+            right.add(x)
+        left.merge(right)
+        whole = RunningStat()
+        for x in samples:
+            whole.add(x)
+        assert left.count == whole.count
+        assert left.total == pytest.approx(whole.total, rel=1e-12)
+        assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert left.variance == pytest.approx(whole.variance, rel=1e-9)
+
+
+class TestSummaryStreaming:
+    def test_constant_memory_by_default(self):
+        summary = SimulationSummary()
+        for i in range(1000):
+            summary.add_quality("point", i / 1000.0)
+        assert summary.quality_samples == {}  # nothing retained
+        assert summary.quality_count("point") == 1000
+        assert summary.average_quality("point") == pytest.approx(0.4995)
+        assert summary.quality_stdev("point") > 0.0
+        assert summary.quality_labels() == ["point"]
+
+    def test_keep_samples_opt_in(self):
+        summary = SimulationSummary(keep_samples=True)
+        summary.add_quality("point", 0.5)
+        summary.add_quality("point", 1.0)
+        summary.add_quality("aggregate", 0.25)
+        assert summary.quality_samples["point"] == [0.5, 1.0]
+        assert summary.quality_samples["aggregate"] == [0.25]
+        # the streaming aggregates agree with the retained lists
+        assert summary.average_quality("point") == pytest.approx(0.75)
+        assert summary.quality_count("aggregate") == 1
+
+    def test_mean_is_bit_identical_to_raw_list_mean(self):
+        rng = np.random.default_rng(3)
+        samples = [float(x) for x in rng.uniform(0, 1, size=500)]
+        summary = SimulationSummary(keep_samples=True)
+        for x in samples:
+            summary.add_quality("q", x)
+        raw = summary.quality_samples["q"]
+        assert summary.average_quality("q") == float(sum(raw) / len(raw))
+
+    def test_engine_run_keep_samples_flag(self):
+        scenario = build_rwm_scenario(5, n_sensors=30, n_slots=6)
+        workload = PointQueryWorkload(
+            scenario.working_region, n_queries=10, budget=15.0, dmax=scenario.dmax
+        )
+
+        def run(keep):
+            engine = one_shot_engine(
+                scenario.make_fleet(), workload, GreedyAllocator(),
+                np.random.default_rng(5),
+            )
+            return engine.run(4, keep_samples=keep)
+
+        lean, fat = run(False), run(True)
+        assert lean.quality_samples == {}
+        assert fat.quality_samples  # retained distributions
+        assert set(lean.quality_stats) == set(fat.quality_stats)
+        for label, stat in fat.quality_stats.items():
+            assert stat.count == len(fat.quality_samples[label])
+            assert lean.quality_stats[label].count == stat.count
+            assert lean.average_quality(label) == fat.average_quality(label)

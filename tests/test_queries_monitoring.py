@@ -156,7 +156,7 @@ class TestRegionMonitoring:
         value = q.record_slot(snaps, planned_value=5.0, payment=3.0)
         assert value > 0
         assert q.spent == 3.0
-        assert len(q.used_sensors) == 1
+        assert q.used_sensor_count == 1
         assert q.total_value() == pytest.approx(value)
 
     def test_quality_of_results_ratio(self):

@@ -1,0 +1,100 @@
+"""The parallel sweep executor: process fan-out must be a pure speedup —
+results identical to the serial loop, order preserved."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import ScenarioSpec, StreamSpec
+from repro.experiments import (
+    CI,
+    compare_scenarios,
+    fig2,
+    parallel_map,
+    replicate,
+    run_specs_parallel,
+)
+from repro.experiments.runner import _run_spec_payload
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+TINY_SPECS = [
+    ScenarioSpec(
+        name=f"tiny-{seed}", dataset="rwm", seed=seed, n_sensors=30, n_slots=3,
+        streams=(StreamSpec("point", params={"n_queries": 10, "budget": 15.0}),),
+    )
+    for seed in (11, 12, 13)
+]
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(_square, [(i,) for i in range(6)]) == [
+            0, 1, 4, 9, 16, 25
+        ]
+
+    def test_parallel_results_match_serial(self):
+        serial = parallel_map(_square, [(i,) for i in range(6)])
+        parallel = parallel_map(_square, [(i,) for i in range(6)], max_workers=2)
+        assert parallel == serial
+
+    def test_single_task_stays_inline(self):
+        # one task → no pool, even with workers requested
+        assert parallel_map(_square, [(7,)], max_workers=8) == [49]
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_fail_on, [(i,) for i in range(5)], max_workers=2)
+
+
+class TestSpecExecution:
+    def test_worker_payload_roundtrip(self):
+        """The spawn payload (spec dict) rebuilds to an identical run."""
+        spec = TINY_SPECS[0]
+        direct = spec.run()
+        rebuilt = _run_spec_payload(spec.to_dict(), None)
+        assert rebuilt.average_utility == direct.average_utility
+        assert rebuilt.satisfaction_ratio == direct.satisfaction_ratio
+        assert rebuilt.total_queries == direct.total_queries
+
+    def test_parallel_specs_match_serial(self):
+        serial = run_specs_parallel(TINY_SPECS)
+        parallel = run_specs_parallel(TINY_SPECS, max_workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.average_utility == b.average_utility
+            assert a.satisfaction_ratio == b.satisfaction_ratio
+            assert a.total_queries == b.total_queries
+            assert [r.value for r in a.slots] == [r.value for r in b.slots]
+
+    def test_compare_scenarios_parallel_matches_serial(self):
+        serial = compare_scenarios(TINY_SPECS)
+        parallel = compare_scenarios(TINY_SPECS, max_workers=2)
+        assert serial.series == parallel.series
+
+
+class TestFigureSweeps:
+    def test_fig2_parallel_matches_serial(self):
+        serial = fig2(CI)
+        parallel = fig2(CI, max_workers=2)
+        assert serial.x_values == parallel.x_values
+        assert serial.series == parallel.series
+
+    def test_replicate_parallel_matches_serial(self):
+        seeds = (7, 8)
+        serial = replicate(fig2, CI, seeds)
+        parallel = replicate(fig2, CI, seeds, max_workers=2)
+        assert serial.x_values == parallel.x_values
+        for algorithm, metrics in serial.series.items():
+            for metric, (mean, std) in metrics.items():
+                got_mean, got_std = parallel.series[algorithm][metric]
+                assert (mean == got_mean).all()
+                assert (std == got_std).all()
