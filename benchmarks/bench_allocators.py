@@ -1,13 +1,15 @@
 """Micro-benchmarks: per-slot allocation cost of each scheduling algorithm.
 
-Two frozen slots are timed: the historical 300 queries x 200 sensors case,
-and the paper-scale RNC slot (300 queries x 635 sensors) where the
-vectorized greedy's batch-gain protocol is the headline.  The suite also
-asserts the hard floor from the batch-gain rollout — vectorized greedy at
-least 3x the scalar reference on the paper-scale slot, with identical
-allocations — and emits a ``BENCH_allocators.json`` perf trajectory
-(per-case mean/stdev seconds) so future changes have numbers to compare
-against.  Set ``REPRO_BENCH_JSON`` to choose the output path.
+Three frozen slots are timed: the historical 300 queries x 200 sensors
+case, the paper-scale RNC slot (300 queries x 635 sensors) where the
+vectorized greedy's batch-gain protocol is the headline, and the
+large-fleet slot (300 localized queries x 20000 sensors) where the
+spatially sharded kernel is.  The suite also asserts two hard floors —
+vectorized greedy at least 3x the scalar reference at paper scale, and the
+sharded kernel at least 5x the dense kernel at large-fleet scale, both
+with identical allocations — and emits a ``BENCH_allocators.json`` perf
+trajectory (per-case mean/stdev seconds) so future changes have numbers to
+compare against.  Set ``REPRO_BENCH_JSON`` to choose the output path.
 
 Run:  pytest benchmarks/bench_allocators.py --benchmark-only -s
 """
@@ -27,6 +29,8 @@ from repro.core import (
     GreedyAllocator,
     LocalSearchPointAllocator,
     OptimalPointAllocator,
+    ShardedKernel,
+    ValuationKernel,
 )
 from repro.queries import PointQueryWorkload
 from repro.sensors import SensorSnapshot
@@ -175,4 +179,74 @@ def test_greedy_vectorized_speedup_at_paper_scale(paper_slot):
     assert speedup >= 3.0, (
         f"batch-gain greedy ({min(fast)*1e3:.1f} ms) must be >= 3x the "
         f"scalar reference ({min(slow)*1e3:.1f} ms); got {speedup:.2f}x"
+    )
+
+
+@pytest.fixture(scope="module")
+def large_fleet_slot():
+    """Production-scale fleet, localized queries: 20k sensors announcing
+    over a 400x400 region, 300 point queries with dmax 5 — each query can
+    reach ~0.015% of the fleet, the regime sharding is built for."""
+    return make_slot(300, 20000, side=400.0)
+
+
+def test_sharded_large_fleet_speedup(large_fleet_slot):
+    """Hard floor: the grid-sharded kernel must be >= 5x the dense kernel
+    on the large-fleet localized slot, with bit-identical allocations."""
+    queries, sensors = large_fleet_slot
+    allocator = GreedyAllocator(verify=False)
+    dense_kernel = ValuationKernel.from_sensors(sensors)
+    sharded_kernel = ShardedKernel.from_sensors(sensors)
+
+    # Bit-identical allocations first (this also warms the lazy shard grid).
+    a = allocator.allocate(queries, sensors, kernel=sharded_kernel)
+    b = allocator.allocate(queries, sensors, kernel=dense_kernel)
+    assert a.assignments == b.assignments
+    assert set(a.selected) == set(b.selected)
+    assert a.values == b.values
+    assert a.payments == b.payments
+
+    # Interleaved best-of-N timing of the warm slot path (the engine reuses
+    # kernels across slots; the cold path is recorded separately below).
+    fast, slow = [], []
+    for _ in range(5):
+        start = time.perf_counter()
+        allocator.allocate(queries, sensors, kernel=sharded_kernel)
+        fast.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        allocator.allocate(queries, sensors, kernel=dense_kernel)
+        slow.append(time.perf_counter() - start)
+    _record_case(
+        "greedy_sharded_300x20000",
+        statistics.mean(fast), statistics.stdev(fast), len(fast),
+    )
+    _record_case(
+        "greedy_dense_300x20000",
+        statistics.mean(slow), statistics.stdev(slow), len(slow),
+    )
+    speedup = min(slow) / min(fast)
+    print(
+        f"\ngreedy slot 300x20000: dense {min(slow)*1e3:.1f} ms, "
+        f"sharded {min(fast)*1e3:.1f} ms, speedup {speedup:.1f}x "
+        f"({sharded_kernel.n_shards} shards, "
+        f"cell {sharded_kernel.resolved_cell_size:.2f})"
+    )
+
+    # Cold-slot reference: kernel build + shard grid from scratch each
+    # round, the worst case for a fully mobile fleet.
+    cold = []
+    for _ in range(3):
+        start = time.perf_counter()
+        allocator.allocate(
+            queries, sensors, kernel=ShardedKernel.from_sensors(sensors)
+        )
+        cold.append(time.perf_counter() - start)
+    _record_case(
+        "greedy_sharded_cold_300x20000",
+        statistics.mean(cold), statistics.stdev(cold), len(cold),
+    )
+
+    assert speedup >= 5.0, (
+        f"sharded kernel ({min(fast)*1e3:.1f} ms) must be >= 5x the dense "
+        f"kernel ({min(slow)*1e3:.1f} ms) at 20k sensors; got {speedup:.2f}x"
     )

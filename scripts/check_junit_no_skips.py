@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Fail if a junit XML report collected nothing or skipped anything.
+
+CI runs the parity suites through this gate so an environment problem that
+silently skips them (missing dataset, import error masked as a skip) fails
+the job instead of green-washing it.
+
+Usage:  python scripts/check_junit_no_skips.py REPORT.xml [LABEL]
+"""
+
+from __future__ import annotations
+
+import sys
+import xml.etree.ElementTree as ET
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    label = argv[2] if len(argv) == 3 else path
+    root = ET.parse(path).getroot()
+    suite = root if root.tag == "testsuite" else root.find("testsuite")
+    tests = int(suite.get("tests", 0))
+    skipped = int(suite.get("skipped", 0))
+    if tests == 0:
+        print(f"{label}: collected no tests", file=sys.stderr)
+        return 1
+    if skipped:
+        print(f"{label}: skipped {skipped}/{tests} tests", file=sys.stderr)
+        return 1
+    print(f"{label}: {tests} tests, 0 skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

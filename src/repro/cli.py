@@ -58,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print a ready-to-run sample spec and exit")
     scenario.add_argument("--slots", type=int, default=None,
                           help="override the spec's n_slots")
+    scenario.add_argument("--sharding", default=None, metavar="CELL",
+                          help="override the spec's spatial sharding: 'off', "
+                               "'auto', or a shard cell size (allocations are "
+                               "bit-identical either way)")
     scenario.add_argument("--out", default=None,
                           help="write per-spec summary JSON files here")
 
@@ -102,6 +106,27 @@ def _run_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sharding(value: str | None):
+    """CLI sharding override: 'off'/'none' -> dense, 'auto'/'on' -> the
+    density heuristic, anything else a shard cell size.  The resulting
+    value goes through the shared ``normalize_sharding`` validation."""
+    if value is None:
+        return None
+    from .core.sharding import normalize_sharding
+
+    lowered = value.lower()
+    if lowered in ("off", "none", "false", "dense"):
+        return None
+    if lowered in ("on", "true"):
+        lowered = "auto"
+    try:
+        setting = lowered if lowered == "auto" else float(value)
+        return normalize_sharding(setting)
+    except ValueError:
+        print(f"invalid --sharding value {value!r}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _run_scenario(args: argparse.Namespace) -> int:
     from .datasets import ScenarioSpec
 
@@ -116,9 +141,12 @@ def _run_scenario(args: argparse.Namespace) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
     from .core import ReproError
 
+    sharding_override = _parse_sharding(args.sharding)
     for path in args.spec:
         try:
             spec = ScenarioSpec.from_json(path)
+            if args.sharding is not None:
+                spec = dataclasses.replace(spec, sharding=sharding_override)
         except (OSError, ValueError, TypeError) as exc:
             print(f"error loading {path}: {exc}", file=sys.stderr)
             return 2

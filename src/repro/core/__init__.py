@@ -5,6 +5,7 @@ from .allocation import AllocationResult, Allocator, check_distinct
 from .clairvoyant import ClairvoyantPlan, simulate_myopic_gap, solve_clairvoyant
 from .baselines import BaselineAllocator
 from .engine import (
+    EventDetectionStream,
     JointSlotAllocation,
     LocationMonitoringStream,
     OneShotStream,
@@ -12,6 +13,7 @@ from .engine import (
     RegionMonitoringStream,
     SequentialBufferedAllocation,
     SlotEngine,
+    event_detection_engine,
     location_monitoring_engine,
     mix_engine,
     one_shot_engine,
@@ -31,6 +33,7 @@ from .optimal import OptimalPointAllocator, exhaustive_point_search
 from .payments import proportionate_shares, redistribute_contribution
 from .point_problem import PointProblem
 from .sampling import SamplingPlan, paper_weight_function, plan_sampling
+from .sharding import FleetShard, ShardedKernel, normalize_sharding, resolve_cell_size
 from .valuation import ValuationKernel
 from .simulation import (
     LocationMonitoringSimulation,
@@ -63,16 +66,22 @@ __all__ = [
     "BaselineAllocator",
     "PointProblem",
     "ValuationKernel",
+    "ShardedKernel",
+    "FleetShard",
+    "normalize_sharding",
+    "resolve_cell_size",
     "SlotEngine",
     "QueryStream",
     "OneShotStream",
     "LocationMonitoringStream",
     "RegionMonitoringStream",
+    "EventDetectionStream",
     "JointSlotAllocation",
     "SequentialBufferedAllocation",
     "one_shot_engine",
     "location_monitoring_engine",
     "region_monitoring_engine",
+    "event_detection_engine",
     "mix_engine",
     "proportionate_shares",
     "redistribute_contribution",

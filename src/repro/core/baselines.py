@@ -65,12 +65,22 @@ class BaselineAllocator:
         kernel = ValuationKernel.ensure(kernel, sensors)
 
         # Vectorized Q_{l_s} prefilter + precomputed value rows for plain
-        # point queries (the scalar fallback covers every other type).
+        # point queries (the scalar fallback covers every other type).  A
+        # sharding-capable kernel supplies per-query sparse (columns,
+        # values) pairs — every omitted column is exactly zero in the
+        # dense row, so the candidate sets below come out identical.
         plain = [q for q in queries if type(q) is PointQuery]
         value_rows: dict[str, np.ndarray] = {}
+        sparse_rows: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        sparse_fn = getattr(kernel, "sparse_single_values", None)
+        candidates_of = getattr(kernel, "candidate_indices", None)
         if plain:
-            rows = kernel.single_values(plain)
-            value_rows = {q.query_id: rows[i] for i, q in enumerate(plain)}
+            if sparse_fn is not None:
+                for query, entry in zip(plain, sparse_fn(plain)):
+                    sparse_rows[query.query_id] = entry
+            else:
+                rows = kernel.single_values(plain)
+                value_rows = {q.query_id: rows[i] for i, q in enumerate(plain)}
 
         paid: set[int] = set()  # sensors whose cost is already covered
         answered: set[str] = set()
@@ -80,21 +90,37 @@ class BaselineAllocator:
                 continue
             state = query.new_state()
             spent_new: list[SensorSnapshot] = []
+            sparse = sparse_rows.get(query.query_id)
             row = value_rows.get(query.query_id)
-            if row is not None:
+            if sparse is not None:
+                idx, vals = sparse
+                positive = vals > 0.0
+                candidate_idx = idx[positive]
+                candidate_vals = vals[positive]
+            elif row is not None:
                 candidate_idx = np.flatnonzero(row > 0.0)
+                candidate_vals = row[candidate_idx]
             else:
-                candidate_idx = np.fromiter(
-                    (j for j, s in enumerate(sensors) if query.relevant(s)),
-                    np.intp,
-                )
+                cand = candidates_of(query) if candidates_of is not None else None
+                if cand is not None:
+                    # Candidate shards only; same ascending order as the
+                    # full scan, so near-tie picks cannot diverge.
+                    candidate_idx = np.fromiter(
+                        (j for j in cand if query.relevant(sensors[j])), np.intp
+                    )
+                else:
+                    candidate_idx = np.fromiter(
+                        (j for j, s in enumerate(sensors) if query.relevant(s)),
+                        np.intp,
+                    )
+                candidate_vals = None
             candidates = [sensors[j] for j in candidate_idx]
             # Per-query roster: the batch state evaluates all of this
             # query's candidates in one vectorized pass per round instead
             # of one Python `state.gain` call per (round, candidate).
             roster = kernel.roster(candidate_idx, sensors)
-            if row is not None:
-                roster.value_rows[query.query_id] = row[candidate_idx]
+            if candidate_vals is not None:
+                roster.value_rows[query.query_id] = candidate_vals
             else:
                 # The roster holds exactly this query's relevant sensors.
                 roster.relevance_rows[query.query_id] = np.ones(

@@ -45,6 +45,8 @@ from typing import Iterable, Protocol, Sequence
 import numpy as np
 
 from ..queries import (
+    EventDetectionQuery,
+    EventSlotQuery,
     LocationMonitoringQuery,
     PointQuery,
     Query,
@@ -54,6 +56,7 @@ from ..sensors import SensorFleet, SensorSnapshot
 from .allocation import AllocationResult, Allocator
 from .metrics import SimulationSummary, SlotRecord
 from .monitoring import LocationMonitoringController, RegionMonitoringController
+from .sharding import ShardedKernel, normalize_sharding
 from .valuation import ValuationKernel
 
 __all__ = [
@@ -62,12 +65,18 @@ __all__ = [
     "OneShotStream",
     "LocationMonitoringStream",
     "RegionMonitoringStream",
+    "EventDetectionStream",
     "SlotAllocation",
     "JointSlotAllocation",
     "SequentialBufferedAllocation",
     "SlotEngine",
     "quality_of",
     "call_allocator",
+    "one_shot_engine",
+    "location_monitoring_engine",
+    "region_monitoring_engine",
+    "event_detection_engine",
+    "mix_engine",
 ]
 
 #: Retirement timestamp that expires every continuous query (end-of-run flush).
@@ -338,6 +347,115 @@ class RegionMonitoringStream(QueryStream):
         self.live = remaining
 
 
+class EventDetectionStream(QueryStream):
+    """Live event-detection queries (Section 2.3's deferred extension).
+
+    Each slot, every active :class:`~repro.queries.EventDetectionQuery`
+    derives a redundant-sampling :class:`~repro.queries.EventSlotQuery`
+    whose valuation pays for additional witnesses only until the requested
+    confidence is reached; the allocation outcome is folded back as
+    (value, quality) readings.
+
+    Args:
+        workload: an ``EventDetectionWorkload``-like arrival source.
+        phenomenon: optional ``(t, Location) -> float`` ground-truth signal
+            the witnesses report; without one, readings carry value 0.0 —
+            no event can fire, but the acquisition economics (confidence,
+            payments, utility) are unaffected, which is all the allocation
+            experiments measure.
+        min_budget: slot queries cheaper than this are not emitted.
+    """
+
+    kind = "event"
+    allocation_rank = 4
+    settle_rank = 0
+
+    def __init__(
+        self,
+        workload,
+        phenomenon=None,
+        allocation_rank: int | None = None,
+        count_issued: bool = True,
+        count_answered: bool = True,
+        live_key: str | None = "live",
+        detections_key: str | None = "detections",
+        min_budget: float = 1e-6,
+    ) -> None:
+        self.workload = workload
+        self.phenomenon = phenomenon
+        if allocation_rank is not None:
+            self.allocation_rank = allocation_rank
+        self.count_issued = count_issued
+        self.count_answered = count_answered
+        self.live_key = live_key
+        self.detections_key = detections_key
+        self.min_budget = min_budget
+        self.live: list[EventDetectionQuery] = []
+        self.children: list[EventSlotQuery] = []
+
+    def begin_slot(self, t, rng, summary):
+        self._retire(t, summary)
+        self.live.extend(self.workload.generate(t, rng))
+
+    def emit(self, t, sensors):
+        self.children = []
+        for query in self.live:
+            if not query.active(t):
+                continue
+            child = query.create_slot_query(t)
+            if child.budget > self.min_budget:
+                self.children.append(child)
+        return list(self.children)
+
+    def settle(self, t, result, record, summary):
+        by_id = {q.query_id: q for q in self.live}
+        fired = 0
+        value = 0.0
+        for child in self.children:
+            query = by_id.get(child.parent_id)
+            if query is None:
+                continue
+            snapshots = [
+                result.selected[sid]
+                for sid in result.assignments.get(child.query_id, ())
+            ]
+            readings = [
+                (
+                    self.phenomenon(t, s.location) if self.phenomenon else 0.0,
+                    child.quality(s),
+                )
+                for s in snapshots
+            ]
+            achieved = result.values.get(child.query_id, 0.0)
+            if query.record_slot(
+                t, readings, achieved, result.query_payment(child.query_id)
+            ):
+                fired += 1
+            value += achieved
+            if self.count_answered and result.is_answered(child.query_id):
+                record.answered += 1
+        record.value += value
+        if self.count_issued:
+            record.issued += len(self.children)
+        if self.live_key is not None:
+            record.extras[self.live_key] = float(len(self.live))
+        if self.detections_key is not None:
+            record.extras[self.detections_key] = float(fired)
+
+    def flush(self, summary):
+        self._retire(FLUSH_SLOT, summary)
+
+    def _retire(self, t: int, summary: SimulationSummary) -> None:
+        remaining: list[EventDetectionQuery] = []
+        for query in self.live:
+            if query.expired(t):
+                summary.add_quality("event", query.quality_of_results())
+                summary.record_query_outcome(query.achieved_value() - query.spent)
+            else:
+                remaining.append(query)
+        self.live = remaining
+
+
 # ----------------------------------------------------------------------
 # slot allocation strategies
 # ----------------------------------------------------------------------
@@ -460,6 +578,13 @@ class SlotEngine:
             the single-family engines which verify inside the allocator).
         use_kernel: build the shared per-slot :class:`ValuationKernel`
             (disable only to benchmark the unshared path).
+        sharding: spatially shard the slot kernel
+            (:class:`~repro.core.sharding.ShardedKernel`): ``None``/``False``
+            keeps the dense kernel, ``True``/``"auto"`` shards with the
+            density heuristic cell size, a number fixes the shard cell
+            side.  Sharded allocations are bit-identical to dense ones;
+            work becomes proportional to sensors-near-queries instead of
+            fleet size.
     """
 
     def __init__(
@@ -471,6 +596,7 @@ class SlotEngine:
         *,
         verify_each_slot: bool = False,
         use_kernel: bool = True,
+        sharding: float | bool | str | None = None,
     ) -> None:
         if not streams:
             raise ValueError("SlotEngine needs at least one query stream")
@@ -483,6 +609,15 @@ class SlotEngine:
         self.rng = rng
         self.verify_each_slot = verify_each_slot
         self.use_kernel = use_kernel
+        mode = normalize_sharding(sharding)
+        if mode is not None and not use_kernel:
+            raise ValueError(
+                "sharding needs the slot kernel; drop use_kernel=False"
+            )
+        self.sharding = mode is not None
+        self.shard_cell_size: float | None = (
+            mode if isinstance(mode, float) else None
+        )
         self._kernel: ValuationKernel | None = None
 
     def stream(self, kind: str) -> QueryStream:
@@ -518,9 +653,15 @@ class SlotEngine:
         # replayed traces with sleeping sensors) reuse the previous slot's
         # kernel: the identity-token check is one tuple compare, and value
         # matrices never depend on the announced costs that may still move.
-        kernel = (
-            ValuationKernel.ensure(self._kernel, sensors) if self.use_kernel else None
-        )
+        # A reused *sharded* kernel also keeps its warm shard structure.
+        if not self.use_kernel:
+            kernel = None
+        elif self.sharding:
+            kernel = ShardedKernel.ensure(
+                self._kernel, sensors, cell_size=self.shard_cell_size
+            )
+        else:
+            kernel = ValuationKernel.ensure(self._kernel, sensors)
         self._kernel = kernel
         result = self.allocation.run(t, self.streams, sensors, kernel)
         record = SlotRecord(slot=t, cost=result.total_cost)
@@ -537,18 +678,19 @@ class SlotEngine:
 # ----------------------------------------------------------------------
 # engine factories for the four canonical experiment families
 # ----------------------------------------------------------------------
-def one_shot_engine(fleet, workload, allocator, rng) -> SlotEngine:
+def one_shot_engine(fleet, workload, allocator, rng, *, sharding=None) -> SlotEngine:
     """Figures 2-7: a stream of one-shot (point or aggregate) queries."""
     return SlotEngine(
         fleet,
         [OneShotStream(workload, kind="one_shot", record_slot_qualities=True)],
         JointSlotAllocation(allocator),
         rng,
+        sharding=sharding,
     )
 
 
 def location_monitoring_engine(
-    fleet, workload, point_allocator, rng, controller=None
+    fleet, workload, point_allocator, rng, controller=None, *, sharding=None
 ) -> SlotEngine:
     """Figure 8: continuous location-monitoring queries."""
     return SlotEngine(
@@ -556,11 +698,12 @@ def location_monitoring_engine(
         [LocationMonitoringStream(workload, controller=controller)],
         JointSlotAllocation(point_allocator),
         rng,
+        sharding=sharding,
     )
 
 
 def region_monitoring_engine(
-    fleet, workload, point_allocator, rng, controller=None
+    fleet, workload, point_allocator, rng, controller=None, *, sharding=None
 ) -> SlotEngine:
     """Figure 9: continuous region-monitoring queries over a GP field."""
     return SlotEngine(
@@ -568,6 +711,20 @@ def region_monitoring_engine(
         [RegionMonitoringStream(workload, controller=controller)],
         JointSlotAllocation(point_allocator),
         rng,
+        sharding=sharding,
+    )
+
+
+def event_detection_engine(
+    fleet, workload, point_allocator, rng, *, phenomenon=None, sharding=None
+) -> SlotEngine:
+    """Event-detection extension: redundant-sampling slot queries."""
+    return SlotEngine(
+        fleet,
+        [EventDetectionStream(workload, phenomenon=phenomenon)],
+        JointSlotAllocation(point_allocator),
+        rng,
+        sharding=sharding,
     )
 
 
@@ -585,6 +742,7 @@ def mix_engine(
     sequential: bool = False,
     stage1_allocator: Allocator | None = None,
     stage2_allocator: Allocator | None = None,
+    sharding=None,
 ) -> SlotEngine:
     """Figure 10: point + aggregate + monitoring streams in one slot cycle.
 
@@ -641,4 +799,6 @@ def mix_engine(
         )
     else:
         allocation = JointSlotAllocation(joint if joint is not None else GreedyAllocator())
-    return SlotEngine(fleet, streams, allocation, rng, verify_each_slot=True)
+    return SlotEngine(
+        fleet, streams, allocation, rng, verify_each_slot=True, sharding=sharding
+    )

@@ -144,21 +144,42 @@ class GreedyAllocator:
         # Relevance over the full announcement set: one kernel pass for the
         # plain point queries (the bulk of every slot), scalar `relevant`
         # for everything else.  The single-value block doubles as the point
-        # queries' precomputed gain rows below.
+        # queries' precomputed gain rows below.  A sharding-capable kernel
+        # (see repro.core.sharding) is consumed through its candidate
+        # hooks: point values arrive as per-query sparse (columns, values)
+        # pairs instead of a dense (q, n) block, and scalar relevance scans
+        # are restricted to each query's candidate shards — all omitted
+        # pairs are exactly zero/irrelevant, so both forms stay
+        # bit-identical to the dense pass.
         plain_idx = [i for i, q in enumerate(queries) if type(q) is PointQuery]
-        single_values = (
-            kernel.single_values([queries[i] for i in plain_idx])
-            if plain_idx
-            else None
-        )
+        sparse_fn = getattr(kernel, "sparse_single_values", None)
+        single_values = sparse_entries = None
+        if plain_idx:
+            plain_queries = [queries[i] for i in plain_idx]
+            if sparse_fn is not None:
+                sparse_entries = sparse_fn(plain_queries)
+            else:
+                single_values = kernel.single_values(plain_queries)
         relevance_all = np.zeros((n_queries, n_all), dtype=bool)
         if plain_idx:
-            relevance_all[plain_idx] = single_values > 0.0
+            if sparse_entries is not None:
+                for i, (idx, vals) in zip(plain_idx, sparse_entries):
+                    relevance_all[i, idx] = vals > 0.0
+            else:
+                relevance_all[plain_idx] = single_values > 0.0
+        candidates_of = getattr(kernel, "candidate_indices", None)
         for i, query in enumerate(queries):
             if type(query) is not PointQuery:
-                relevance_all[i] = np.fromiter(
-                    (query.relevant(s) for s in sensors), bool, n_all
-                )
+                cand = candidates_of(query) if candidates_of is not None else None
+                if cand is None:
+                    relevance_all[i] = np.fromiter(
+                        (query.relevant(s) for s in sensors), bool, n_all
+                    )
+                else:
+                    row = relevance_all[i]
+                    for j in cand:
+                        if query.relevant(sensors[j]):
+                            row[j] = True
 
         # Candidate roster: the paper's Q_{l_s} — sensors serving anything.
         cols = np.flatnonzero(relevance_all.any(axis=0))
@@ -170,7 +191,20 @@ class GreedyAllocator:
         relevance = relevance_all[:, cols]
         costs = np.fromiter((sensors[j].cost for j in cols), float, cols.size)
         if plain_idx:
-            block = single_values[:, cols]
+            if sparse_entries is not None:
+                # Scatter the sparse rows into the reduced column space.
+                # Candidate columns relevant to no query are absent from
+                # ``cols`` but carry value 0.0 by construction, so dropping
+                # them is exact.
+                block = np.zeros((len(plain_idx), cols.size))
+                col_pos = np.full(n_all, -1, dtype=np.intp)
+                col_pos[cols] = np.arange(cols.size, dtype=np.intp)
+                for p, (idx, vals) in enumerate(sparse_entries):
+                    pos = col_pos[idx]
+                    keep = pos >= 0
+                    block[p, pos[keep]] = vals[keep]
+            else:
+                block = single_values[:, cols]
             for p, i in enumerate(plain_idx):
                 roster.value_rows[queries[i].query_id] = block[p]
         for i, query in enumerate(queries):

@@ -25,7 +25,14 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..mobility import MobilityTrace, TraceMobility
-from ..sensors import FleetConfig, SensorFleet
+from ..sensors import (
+    BetaTrust,
+    FleetConfig,
+    FullTrust,
+    SensorFleet,
+    TieredTrust,
+    UniformTrust,
+)
 from ..spatial import Region
 
 __all__ = ["Scenario", "StreamSpec", "ScenarioSpec"]
@@ -83,9 +90,35 @@ _STREAM_RANKS = {
     "point": 1,
     "location_monitoring": 2,
     "region_monitoring": 3,
+    "event": 4,
 }
 
 _ALLOCATORS = ("optimal", "local_search", "randomized_local_search", "greedy", "baseline")
+
+#: JSON-declarable trust models for the ``fleet.trust_model`` override.
+_TRUST_MODELS = {
+    "full": FullTrust,
+    "uniform": UniformTrust,
+    "beta": BetaTrust,
+    "tiered": TieredTrust,
+}
+
+
+def _trust_model_from_payload(payload):
+    """Build a trust model from its JSON form: a kind string, or a dict
+    ``{"kind": ..., **params}`` (list params become tuples)."""
+    if isinstance(payload, str):
+        payload = {"kind": payload}
+    payload = dict(payload)
+    kind = payload.pop("kind", None)
+    if kind not in _TRUST_MODELS:
+        raise ValueError(
+            f"unknown trust model {kind!r}; choose from {sorted(_TRUST_MODELS)}"
+        )
+    for key, value in payload.items():
+        if isinstance(value, list):
+            payload[key] = tuple(value)
+    return _TRUST_MODELS[kind](**payload)
 
 
 @dataclass(frozen=True)
@@ -94,7 +127,7 @@ class StreamSpec:
 
     Attributes:
         kind: ``point`` | ``aggregate`` | ``location_monitoring`` |
-            ``region_monitoring``.
+            ``region_monitoring`` | ``event``.
         params: workload constructor overrides (e.g. ``n_queries``,
             ``budget``, ``budget_factor``, ``arrivals_per_slot``); the
             world's region and ``dmax`` are filled in automatically.
@@ -159,7 +192,15 @@ class ScenarioSpec:
             or ``sequential`` (the Section 4.7 buffered baseline).
         streams: the query streams; order fixes workload rng consumption.
         fleet: :class:`~repro.sensors.FleetConfig` overrides (JSON-able
-            fields only, e.g. ``lifetime``, ``linear_energy``).
+            fields only, e.g. ``lifetime``, ``linear_energy``; a
+            ``trust_model`` entry declares one of the
+            :mod:`repro.sensors.trust` models, e.g.
+            ``{"kind": "tiered", "levels": [...], "weights": [...]}``).
+        sharding: spatial sharding of the slot kernel — ``None`` dense,
+            ``true``/``"auto"`` the density-heuristic cell size, a number
+            the shard cell side (see
+            :class:`~repro.core.sharding.ShardedKernel`; allocations are
+            bit-identical either way).
     """
 
     name: str
@@ -173,6 +214,7 @@ class ScenarioSpec:
     allocation: str = "joint"
     streams: tuple[StreamSpec, ...] = (StreamSpec("point"),)
     fleet: dict[str, Any] = field(default_factory=dict)
+    sharding: float | bool | str | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in ("rwm", "rnc", "intel"):
@@ -187,17 +229,21 @@ class ScenarioSpec:
             raise ValueError("a scenario needs at least one stream")
         if self.n_slots < 1:
             raise ValueError("n_slots must be >= 1")
+        from ..core.sharding import normalize_sharding
+
+        normalize_sharding(self.sharding)  # validation only; raises on junk
         # Cross-field: the BILP/local-search allocators schedule single-sensor
         # point queries only (monitoring streams qualify — they emit derived
-        # point queries); reject incompatible combinations at declaration
-        # time instead of deep inside the first slot.
+        # point queries; event streams emit EventSlotQuery sets); reject
+        # incompatible combinations at declaration time instead of deep
+        # inside the first slot.
         point_only = ("optimal", "local_search", "randomized_local_search")
         if self.allocator in point_only and any(
-            s.kind == "aggregate" for s in self.streams
+            s.kind in ("aggregate", "event") for s in self.streams
         ):
             raise ValueError(
                 f"allocator {self.allocator!r} handles point queries only; "
-                f"aggregate streams need 'greedy' or 'baseline'"
+                f"aggregate/event streams need 'greedy' or 'baseline'"
             )
 
     # ------------------------------------------------------------------
@@ -211,7 +257,7 @@ class ScenarioSpec:
         )
         known = {
             "name", "dataset", "seed", "workload_seed", "n_sensors", "n_slots",
-            "rnc_presence", "allocator", "allocation", "fleet",
+            "rnc_presence", "allocator", "allocation", "fleet", "sharding",
         }
         extra = set(payload) - known
         if extra:
@@ -239,6 +285,8 @@ class ScenarioSpec:
             out["rnc_presence"] = self.rnc_presence
         if self.fleet:
             out["fleet"] = dict(self.fleet)
+        if self.sharding is not None:
+            out["sharding"] = self.sharding
         return out
 
     @classmethod
@@ -281,6 +329,7 @@ class ScenarioSpec:
         from ..core.sampling import paper_weight_function
         from ..queries import (
             AggregateQueryWorkload,
+            EventDetectionWorkload,
             LocationMonitoringWorkload,
             PointQueryWorkload,
             RegionMonitoringWorkload,
@@ -290,7 +339,15 @@ class ScenarioSpec:
         from .rnc import build_rnc_scenario
         from .rwm import build_rwm_scenario
 
-        fleet_config = FleetConfig(**self.fleet) if self.fleet else None
+        fleet_overrides = dict(self.fleet)
+        if "trust_model" in fleet_overrides:
+            fleet_overrides["trust_model"] = _trust_model_from_payload(
+                fleet_overrides["trust_model"]
+            )
+        for key, value in fleet_overrides.items():
+            if isinstance(value, list):  # JSON ranges -> tuples
+                fleet_overrides[key] = tuple(value)
+        fleet_config = FleetConfig(**fleet_overrides) if fleet_overrides else None
         gp = None
         if self.dataset == "rwm":
             scenario = build_rwm_scenario(
@@ -347,6 +404,14 @@ class ScenarioSpec:
                         workload, controller=controller, allocation_rank=rank
                     )
                 )
+            elif spec.kind == "event":
+                workload = EventDetectionWorkload(
+                    region,
+                    **{"threshold": 50.0, "dmax": scenario.dmax, **spec.params},
+                )
+                streams.append(
+                    _engine.EventDetectionStream(workload, allocation_rank=rank)
+                )
             else:  # region_monitoring
                 if gp is None:
                     raise ValueError(
@@ -391,6 +456,7 @@ class ScenarioSpec:
             allocation,
             np.random.default_rng(workload_seed),
             verify_each_slot=len(streams) > 1,
+            sharding=self.sharding,
         )
 
     def run(self, n_slots: int | None = None):

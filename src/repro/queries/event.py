@@ -24,11 +24,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..sensors import SensorSnapshot
 from ..spatial import Location
-from .base import Query, QueryType, new_query_id
+from .base import BatchGainState, Query, QueryType, SensorRoster, ValuationState, new_query_id
 from .monitoring import ContinuousQuery
-from .point import reading_quality
+from .point import _quality_row, reading_quality
 
 __all__ = ["EventDetectionQuery", "EventSlotQuery", "detection_confidence"]
 
@@ -41,6 +43,77 @@ def detection_confidence(qualities: Sequence[float]) -> float:
             raise ValueError("reading qualities must lie in [0, 1]")
         confidence *= 1.0 - theta
     return 1.0 - confidence
+
+
+class _EventBatch(BatchGainState):
+    """Event-slot batch gains via the running ``prod(1 - theta)`` update.
+
+    The scalar valuation rebuilds the witness-failure product from scratch
+    per candidate; the live state already carries that product over the
+    committed witnesses, so a candidate's new confidence is one multiply:
+    ``1 - prod * (1 - theta_cand)``.  The product accumulates in exactly
+    the scalar :func:`detection_confidence` multiplication order, so only
+    the candidate quality itself can differ from the scalar path in the
+    final ulp (``np.hypot`` vs ``math.hypot``, as for all point-flavoured
+    batch states).
+    """
+
+    def __init__(self, state: "_EventState", roster: SensorRoster) -> None:
+        super().__init__(state, roster)
+        query = state.query
+        theta = _quality_row(query.location, query.dmax, roster)
+        theta[theta < query.theta_min] = 0.0
+        self._qualities = theta
+
+    def gain_many(self, indices: np.ndarray) -> np.ndarray:
+        state = self.state
+        query = state.query
+        theta = self._qualities[indices]
+        confidence = 1.0 - state._failure_prod * (1.0 - theta)
+        value_new = query.budget * np.minimum(
+            1.0, confidence / query.required_confidence
+        )
+        return value_new - state.value
+
+
+class _EventState(ValuationState):
+    """Incremental event-slot valuation: one running failure product.
+
+    Tracks ``prod(1 - theta_i)`` over the committed witnesses with
+    positive quality — the same multiplication sequence the scalar
+    :meth:`EventSlotQuery.value` performs from scratch, so gains stay
+    bit-identical to the generic recomputing state.
+    """
+
+    def __init__(self, query: "EventSlotQuery") -> None:
+        super().__init__(query)
+        self._failure_prod = 1.0
+
+    def _value_at(self, failure_prod: float) -> float:
+        confidence = 1.0 - failure_prod
+        return self.query.budget * min(
+            1.0, confidence / self.query.required_confidence
+        )
+
+    def _prod_with(self, snapshot: SensorSnapshot) -> float:
+        theta = self.query.quality(snapshot)
+        if theta > 0:
+            return self._failure_prod * (1.0 - theta)
+        return self._failure_prod
+
+    def gain(self, snapshot: SensorSnapshot) -> float:
+        return self._value_at(self._prod_with(snapshot)) - self.value
+
+    def add(self, snapshot: SensorSnapshot) -> float:
+        prod = self._prod_with(snapshot)
+        gain = self._value_at(prod) - self.value
+        self._failure_prod = prod
+        self.selected.append(snapshot)
+        self.value += gain
+        return gain
+
+    def batch(self, roster: SensorRoster) -> BatchGainState:
+        return _EventBatch(self, roster)
 
 
 class EventSlotQuery(Query):
@@ -81,6 +154,9 @@ class EventSlotQuery(Query):
     def relevant(self, snapshot: SensorSnapshot) -> bool:
         return self.quality(snapshot) > 0.0
 
+    def new_state(self) -> ValuationState:
+        return _EventState(self)
+
 
 class EventDetectionQuery(ContinuousQuery):
     """Q3: notify when the phenomenon exceeds ``threshold`` at ``location``.
@@ -114,6 +190,8 @@ class EventDetectionQuery(ContinuousQuery):
         self.theta_min = theta_min
         self.dmax = dmax
         self.detections: list[tuple[int, float, float]] = []  # (slot, estimate, confidence)
+        self.confidence_history: list[float] = []  # achieved confidence per sampled slot
+        self.value_accrued = 0.0  # realized eq.-style slot values over the lifetime
 
     def slot_budget(self) -> float:
         """Per-slot spending cap: the remaining budget spread over the
@@ -153,14 +231,44 @@ class EventDetectionQuery(ContinuousQuery):
         """
         self.spent += payment
         if not readings:
+            self.confidence_history.append(0.0)
             return False
         qualities = [q for _, q in readings]
         weight_sum = sum(qualities)
+        achieved = detection_confidence(qualities)
+        self.confidence_history.append(achieved)
         if weight_sum <= 0:
             return False
         estimate = sum(v * q for v, q in readings) / weight_sum
-        achieved = detection_confidence(qualities)
         if estimate > self.threshold and achieved >= self.confidence:
             self.detections.append((t, estimate, achieved))
             return True
         return False
+
+    def record_slot(
+        self,
+        t: int,
+        readings: Sequence[tuple[float, float]],
+        achieved_value: float,
+        payment: float,
+    ) -> bool:
+        """One slot's full settlement: readings plus the realized value the
+        allocation attributed to the derived slot query.  Returns whether
+        the event fired this slot."""
+        self.value_accrued += achieved_value
+        return self.apply_readings(t, readings, payment)
+
+    def achieved_value(self) -> float:
+        """Total realized slot value over the lifetime so far."""
+        return self.value_accrued
+
+    def quality_of_results(self) -> float:
+        """Mean per-slot confidence attainment ``min(1, achieved / alpha)``
+        over the slots that were sampled (0.0 when never sampled)."""
+        if not self.confidence_history:
+            return 0.0
+        total = sum(
+            min(1.0, achieved / self.confidence)
+            for achieved in self.confidence_history
+        )
+        return total / len(self.confidence_history)

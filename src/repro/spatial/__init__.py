@@ -2,6 +2,7 @@
 
 from .geometry import Location, centroid, euclidean, manhattan, nearest, pairwise_distances
 from .grid import Grid, GridIndex
+from .index import UniformGridIndex
 from .region import Region
 from .trajectory import Trajectory
 from .coverage import AreaCoverage, CoverageFunction, TrajectoryCoverage, WeightedCoverage
@@ -11,6 +12,7 @@ __all__ = [
     "Region",
     "Grid",
     "GridIndex",
+    "UniformGridIndex",
     "Trajectory",
     "AreaCoverage",
     "WeightedCoverage",

@@ -1,0 +1,57 @@
+"""The curated ``examples/specs/`` scenario files: loadable, round-trippable,
+runnable, and sweepable via ``compare_scenarios``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import ScenarioSpec
+from repro.experiments import compare_scenarios
+
+SPEC_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+SPEC_FILES = sorted(SPEC_DIR.glob("*.json"))
+EXPECTED = {
+    "adversarial_pricing.json",
+    "dense_urban.json",
+    "rush_hour_burst.json",
+    "sparse_rural.json",
+    "trust_churn.json",
+}
+
+
+def test_curated_set_is_complete():
+    assert {p.name for p in SPEC_FILES} >= EXPECTED
+
+
+@pytest.mark.parametrize("path", SPEC_FILES, ids=lambda p: p.stem)
+def test_spec_loads_and_round_trips(path):
+    spec = ScenarioSpec.from_json(path)
+    assert spec.name
+    # to_dict -> from_dict is the CLI/worker wire format.
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+    # The file itself stays minimal JSON (no trailing spec fields we drop).
+    payload = json.loads(path.read_text())
+    assert ScenarioSpec.from_dict(payload) == spec
+
+
+@pytest.mark.parametrize(
+    "name", ["trust_churn.json", "adversarial_pricing.json", "sparse_rural.json"]
+)
+def test_cheap_specs_run(name):
+    spec = ScenarioSpec.from_json(SPEC_DIR / name)
+    summary = spec.run(2)
+    assert summary.n_slots == 2
+
+
+def test_compare_scenarios_sweeps_spec_files():
+    specs = [
+        ScenarioSpec.from_json(SPEC_DIR / "trust_churn.json"),
+        ScenarioSpec.from_json(SPEC_DIR / "sparse_rural.json"),
+    ]
+    figure = compare_scenarios(specs, n_slots=2)
+    assert set(figure.series) == {"trust-churn", "sparse-rural"}
+    for series in figure.series.values():
+        assert "avg_utility" in series and "satisfaction_ratio" in series
