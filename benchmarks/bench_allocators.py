@@ -4,12 +4,14 @@ Three frozen slots are timed: the historical 300 queries x 200 sensors
 case, the paper-scale RNC slot (300 queries x 635 sensors) where the
 vectorized greedy's batch-gain protocol is the headline, and the
 large-fleet slot (300 localized queries x 20000 sensors) where the
-spatially sharded kernel is.  The suite also asserts two hard floors —
-vectorized greedy at least 3x the scalar reference at paper scale, and the
-sharded kernel at least 5x the dense kernel at large-fleet scale, both
-with identical allocations — and emits a ``BENCH_allocators.json`` perf
-trajectory (per-case mean/stdev seconds) so future changes have numbers to
-compare against.  Set ``REPRO_BENCH_JSON`` to choose the output path.
+spatially sharded kernel is.  The suite also asserts three hard floors —
+vectorized greedy at least 3x the scalar reference at paper scale, the
+sharded kernel at least 5x the dense kernel at large-fleet scale, and the
+array-backed cold slot (announcement build + kernel build) at least 15x
+the per-sensor object walk at 20k sensors — all with identical
+allocations/arrays — and emits a ``BENCH_allocators.json`` perf trajectory
+(per-case mean/stdev seconds) so future changes have numbers to compare
+against.  Set ``REPRO_BENCH_JSON`` to choose the output path.
 
 Run:  pytest benchmarks/bench_allocators.py --benchmark-only -s
 """
@@ -32,8 +34,9 @@ from repro.core import (
     ShardedKernel,
     ValuationKernel,
 )
+from repro.mobility import RandomWaypointMobility
 from repro.queries import PointQueryWorkload
-from repro.sensors import SensorSnapshot
+from repro.sensors import FleetConfig, SensorFleet, SensorSnapshot
 from repro.spatial import Region
 
 _RESULTS: dict[str, dict[str, float]] = {}
@@ -249,4 +252,81 @@ def test_sharded_large_fleet_speedup(large_fleet_slot):
     assert speedup >= 5.0, (
         f"sharded kernel ({min(fast)*1e3:.1f} ms) must be >= 5x the dense "
         f"kernel ({min(slow)*1e3:.1f} ms) at 20k sensors; got {speedup:.2f}x"
+    )
+
+
+def test_batch_cold_slot_speedup():
+    """Hard floor: the array-backed cold slot — announcement build plus
+    kernel build, the phase a fully mobile fleet pays from scratch every
+    slot — must be >= 15x the per-sensor object walk at 20k sensors, with
+    identical announcement arrays (measured ~70x on the dev box)."""
+    region = Region.from_origin(400, 400)
+    rng = np.random.default_rng(2013)
+    fleet = SensorFleet(
+        RandomWaypointMobility(region, 20000, rng), region, FleetConfig(), rng
+    )
+    # The object path's materials, prebuilt once the way the historical
+    # fleet held them: Sensor objects plus per-slot Location lists.
+    sensor_objs = fleet.sensors
+    working_region = fleet.working_region
+
+    def object_path() -> ValuationKernel:
+        snapshots = []
+        for sensor, location in zip(sensor_objs, fleet.mobility.locations()):
+            if sensor.is_exhausted:
+                continue
+            if not working_region.contains(location):
+                continue
+            snapshots.append(sensor.snapshot(location, fleet.clock))
+        return ValuationKernel.from_sensors(snapshots)
+
+    def batch_path() -> ValuationKernel:
+        return ValuationKernel.from_batch(fleet.announcements())
+
+    # Identical stacked arrays first (also warms both paths).
+    a, b = batch_path(), object_path()
+    assert np.array_equal(a.sensor_xy, b.sensor_xy)
+    assert np.array_equal(a.costs, b.costs)
+    assert np.array_equal(a.gamma, b.gamma)
+    assert np.array_equal(a.trust, b.trust)
+    assert [s.sensor_id for s in b.sensors] == list(a.sensors.ids)
+
+    fast, slow = [], []
+    for _ in range(5):
+        start = time.perf_counter()
+        batch_path()
+        fast.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        object_path()
+        slow.append(time.perf_counter() - start)
+    _record_case(
+        "cold_slot_batch_20000",
+        statistics.mean(fast), statistics.stdev(fast), len(fast),
+    )
+    _record_case(
+        "cold_slot_object_20000",
+        statistics.mean(slow), statistics.stdev(slow), len(slow),
+    )
+    speedup = min(slow) / min(fast)
+    print(
+        f"\ncold slot 20000 sensors: object {min(slow)*1e3:.1f} ms, "
+        f"batch {min(fast)*1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+
+    # The sharded cold build rides the same batch: record its trajectory
+    # (grid construction is shared work on top of the batch arrays).
+    cold = []
+    for _ in range(3):
+        start = time.perf_counter()
+        ShardedKernel.from_batch(fleet.announcements())
+        cold.append(time.perf_counter() - start)
+    _record_case(
+        "cold_slot_batch_sharded_20000",
+        statistics.mean(cold), statistics.stdev(cold), len(cold),
+    )
+
+    assert speedup >= 15.0, (
+        f"batch cold slot ({min(fast)*1e3:.2f} ms) must be >= 15x the "
+        f"object walk ({min(slow)*1e3:.1f} ms) at 20k sensors; got "
+        f"{speedup:.2f}x"
     )

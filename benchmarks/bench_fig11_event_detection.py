@@ -1,0 +1,29 @@
+"""Event-detection extension figure: latency / confidence vs budget.
+
+The acquisition economics the paper sketches for event queries (Section
+2.3, redundant sampling until the requested confidence) reproduced as a
+figure-style sweep: confidence attainment and utility grow with the budget
+factor, events actually fire once redundancy becomes affordable, and
+Algorithm 1's joint selection does no worse than the sequential baseline.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import fig_event, format_figure
+
+
+def test_fig_event_detection(benchmark, scale):
+    result = run_once(benchmark, fig_event, scale)
+    print()
+    print(format_figure(result))
+
+    assert result.dominates("Greedy", "Baseline", "avg_utility", slack=1e-9)
+    # Confidence attainment grows with budget (redundancy becomes
+    # affordable) and the top budget actually detects events.
+    attainment = result.metric("Greedy", "confidence_attainment")
+    assert attainment[-1] > attainment[0]
+    assert result.metric("Greedy", "detection_ratio")[-1] > 0.0
+    # Fired detections at the top budget arrive faster than the
+    # never-fired ceiling (n_slots).
+    assert result.metric("Greedy", "detection_latency")[-1] < scale.n_slots

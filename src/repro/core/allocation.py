@@ -21,10 +21,18 @@ __all__ = ["AllocationResult", "Allocator", "check_distinct"]
 
 
 def check_distinct(queries: Sequence[Query], sensors: Sequence[SensorSnapshot]) -> None:
-    """Reject duplicate query ids / sensor ids early with a clear error."""
+    """Reject duplicate query ids / sensor ids early with a clear error.
+
+    Announcement producers that guarantee unique sensor ids by construction
+    (an :class:`~repro.sensors.AnnouncementBatch`, whose ids are fleet row
+    indices) declare it via a truthy ``distinct_sensor_ids`` attribute and
+    skip the O(n) duplicate scan — the slot path never walks the batch.
+    """
     qids = [q.query_id for q in queries]
     if len(set(qids)) != len(qids):
         raise AllocationError("duplicate query ids in allocation input")
+    if getattr(sensors, "distinct_sensor_ids", False):
+        return
     sids = [s.sensor_id for s in sensors]
     if len(set(sids)) != len(sids):
         raise AllocationError("duplicate sensor ids in allocation input")

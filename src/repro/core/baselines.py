@@ -26,6 +26,7 @@ import numpy as np
 
 from ..queries import PointQuery, Query
 from ..sensors import SensorSnapshot
+from ..sensors.state import as_announcement_sequence
 from .allocation import AllocationResult, check_distinct
 from .valuation import ValuationKernel
 
@@ -59,9 +60,10 @@ class BaselineAllocator:
     ) -> AllocationResult:
         check_distinct(queries, sensors)
         result = AllocationResult()
-        if not queries or not sensors:
+        if not queries or not len(sensors):
             return result
-        sensors = list(sensors)
+        # Keep an AnnouncementBatch lazy; copy only non-indexable inputs.
+        sensors = as_announcement_sequence(sensors)
         kernel = ValuationKernel.ensure(kernel, sensors)
 
         # Vectorized Q_{l_s} prefilter + precomputed value rows for plain

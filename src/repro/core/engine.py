@@ -451,6 +451,17 @@ class EventDetectionStream(QueryStream):
             if query.expired(t):
                 summary.add_quality("event", query.quality_of_results())
                 summary.record_query_outcome(query.achieved_value() - query.spent)
+                # Figure-style detection accounting: whether the event
+                # fired over the lifetime, and (for fired queries) the
+                # latency in slots from issue to the first detection.
+                summary.add_quality(
+                    "event_detected", 1.0 if query.detections else 0.0
+                )
+                if query.detections:
+                    summary.add_quality(
+                        "event_detection_latency",
+                        float(query.detections[0][0] - query.t1),
+                    )
             else:
                 remaining.append(query)
         self.live = remaining
@@ -522,18 +533,33 @@ class SequentialBufferedAllocation:
         result.merge(stage1)
 
         # Stage-1 sensors are buffered: re-announce them at zero cost.  The
-        # kernel stays valid — it never depends on announced prices.
-        zeroed = {
-            sid: SensorSnapshot(
-                sensor_id=snap.sensor_id,
-                location=snap.location,
-                cost=0.0,
-                inaccuracy=snap.inaccuracy,
-                trust=snap.trust,
+        # kernel stays valid — it never depends on announced prices.  A
+        # batch announcement reprices through a zero-copy cost view (only
+        # the selected rows change; identity arrays and token are shared),
+        # so the slot path stays free of per-sensor loops; snapshot lists
+        # keep the historical per-element rebuild.
+        if getattr(sensors, "with_costs", None) is not None and stage1.selected:
+            zero_costs = sensors.costs.copy()
+            rows = np.searchsorted(
+                sensors.ids,
+                np.fromiter(stage1.selected, np.int64, len(stage1.selected)),
             )
-            for sid, snap in stage1.selected.items()
-        }
-        stage2_sensors = [zeroed.get(s.sensor_id, s) for s in sensors]
+            zero_costs[rows] = 0.0
+            stage2_sensors = sensors.with_costs(zero_costs)
+        elif getattr(sensors, "with_costs", None) is not None:
+            stage2_sensors = sensors
+        else:
+            zeroed = {
+                sid: SensorSnapshot(
+                    sensor_id=snap.sensor_id,
+                    location=snap.location,
+                    cost=0.0,
+                    inaccuracy=snap.inaccuracy,
+                    trust=snap.trust,
+                )
+                for sid, snap in stage1.selected.items()
+            }
+            stage2_sensors = [zeroed.get(s.sensor_id, s) for s in sensors]
 
         stage2_queries = _emissions_in_rank_order(
             (stream, stream.emit(t, stage2_sensors)) for stream in stage2_streams
@@ -648,12 +674,17 @@ class SlotEngine:
         t = self.fleet.clock
         for stream in self.streams:
             stream.begin_slot(t, self.rng, summary)
+        # The fleet announces as an AnnouncementBatch: stacked arrays plus
+        # a lazy Sequence[SensorSnapshot] view, so the batch threads
+        # through streams/allocators unchanged while the kernel build
+        # below adopts the arrays zero-copy (no per-sensor loop).
         sensors = self.fleet.announcements()
         # Consecutive slots with unchanged announcements (stationary fleets,
         # replayed traces with sleeping sensors) reuse the previous slot's
-        # kernel: the identity-token check is one tuple compare, and value
-        # matrices never depend on the announced costs that may still move.
-        # A reused *sharded* kernel also keeps its warm shard structure.
+        # kernel: the batch's version stamp makes the check O(1) either
+        # way, and value matrices never depend on the announced costs that
+        # may still move.  A reused *sharded* kernel also keeps its warm
+        # shard structure.
         if not self.use_kernel:
             kernel = None
         elif self.sharding:

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..queries import PointQuery, Query, ValuationState
 from ..sensors import SensorSnapshot
+from ..sensors.state import as_announcement_sequence
 from .allocation import AllocationResult, check_distinct
 from .payments import proportionate_shares
 from .valuation import ValuationKernel
@@ -119,9 +120,14 @@ class GreedyAllocator:
     ) -> AllocationResult:
         check_distinct(queries, sensors)
         result = AllocationResult()
-        if queries and sensors:
+        if queries and len(sensors):
             if self.vectorized:
-                self._allocate_batch(list(queries), list(sensors), kernel, result)
+                # Announcements pass through as-is: an AnnouncementBatch
+                # stays lazy (copying it would materialize every snapshot);
+                # only other non-indexable inputs are copied defensively.
+                self._allocate_batch(
+                    list(queries), as_announcement_sequence(sensors), kernel, result
+                )
             else:
                 self._allocate_scalar(queries, sensors, kernel, result)
         if self.verify:
@@ -134,7 +140,7 @@ class GreedyAllocator:
     def _allocate_batch(
         self,
         queries: list[Query],
-        sensors: list[SensorSnapshot],
+        sensors: Sequence[SensorSnapshot],
         kernel: ValuationKernel | None,
         result: AllocationResult,
     ) -> None:
@@ -189,7 +195,14 @@ class GreedyAllocator:
         # kernel may be a reused one whose own snapshots carry stale prices.
         roster = kernel.roster(cols, sensors)
         relevance = relevance_all[:, cols]
-        costs = np.fromiter((sensors[j].cost for j in cols), float, cols.size)
+        # A batch announcement carries costs as a stacked array (the exact
+        # values its lazy snapshots are materialized from); snapshot lists
+        # pay the per-candidate gather.
+        announced_costs = getattr(sensors, "costs", None)
+        if announced_costs is not None:
+            costs = announced_costs[cols]
+        else:
+            costs = np.fromiter((sensors[j].cost for j in cols), float, cols.size)
         if plain_idx:
             if sparse_entries is not None:
                 # Scatter the sparse rows into the reduced column space.

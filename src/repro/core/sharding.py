@@ -68,6 +68,7 @@ from ..queries import (
 )
 from ..sensors import SensorSnapshot
 from ..spatial.index import UniformGridIndex
+from ..sensors.state import as_announcement_sequence
 from .valuation import ValuationKernel
 
 __all__ = [
@@ -200,7 +201,7 @@ class ShardedKernel(ValuationKernel):
         cls, sensors: Sequence[SensorSnapshot], cell_size: float | None = None
     ) -> "ShardedKernel":
         base = ValuationKernel.from_sensors(sensors)
-        return cls(
+        kernel = cls(
             base.sensors,
             base.sensor_xy,
             base.gamma,
@@ -208,6 +209,20 @@ class ShardedKernel(ValuationKernel):
             base.costs,
             cell_size=cell_size,
         )
+        kernel._stamp = base._stamp  # batch producers keep O(1) reuse checks
+        return kernel
+
+    @classmethod
+    def from_batch(cls, batch, cell_size: float | None = None) -> "ShardedKernel":
+        """Zero-copy sharded kernel over an
+        :class:`~repro.sensors.AnnouncementBatch` (see
+        :meth:`ValuationKernel.from_batch`)."""
+        if getattr(batch, "kernel_arrays", None) is None:
+            raise TypeError(
+                "from_batch needs an AnnouncementBatch-like producer "
+                "(kernel_arrays/token); use from_sensors for snapshot lists"
+            )
+        return cls.from_sensors(batch, cell_size=cell_size)
 
     @classmethod
     def ensure(
@@ -221,7 +236,13 @@ class ShardedKernel(ValuationKernel):
         — this is the engine's entry point when the sharding knob is on."""
         if isinstance(kernel, ShardedKernel) and kernel.matches(sensors):
             if sensors is not kernel.sensors:
-                kernel.sensors = sensors if type(sensors) is list else list(sensors)
+                kernel.sensors = as_announcement_sequence(sensors)
+                # Same stamp-preservation rule as ValuationKernel.ensure:
+                # a token-less list proved identity-equal, so the existing
+                # stamp stays valid for future O(1) batch comparisons.
+                stamp = getattr(sensors, "token", None)
+                if stamp is not None:
+                    kernel._stamp = stamp
             return kernel
         return cls.from_sensors(sensors, cell_size=cell_size)
 

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..queries import PointQuery, SensorRoster
 from ..sensors import SensorSnapshot
+from ..sensors.state import as_announcement_sequence
 
 __all__ = ["ValuationKernel", "announcement_token"]
 
@@ -56,11 +57,18 @@ def announcement_token(sensors: Sequence[SensorSnapshot]) -> tuple:
     on purpose — value matrices never depend on them (see
     :class:`ValuationKernel`), which is what lets a kernel survive
     re-announcements that change prices only.
+
+    :class:`~repro.sensors.AnnouncementBatch` producers carry the same
+    identity as an O(1) version stamp (``batch.token``); kernels compare
+    stamps first and fall back to this per-sensor tuple only for
+    non-batch announcement lists.
     """
     return tuple(
         (s.sensor_id, s.location.x, s.location.y, s.inaccuracy, s.trust)
         for s in sensors
     )
+
+
 
 
 def _stack_queries(
@@ -86,7 +94,9 @@ class ValuationKernel:
 
     Attributes:
         sensors: the announcements, defining the column order of every
-            matrix the kernel produces.
+            matrix the kernel produces — a plain snapshot list, or an
+            :class:`~repro.sensors.AnnouncementBatch` (lazy snapshot
+            sequence) when the kernel was built zero-copy from a batch.
         sensor_xy: ``(n, 2)`` sensor coordinates.
         gamma: per-sensor inaccuracy ``gamma_s``.
         trust: per-sensor trust ``tau_s``.
@@ -96,13 +106,15 @@ class ValuationKernel:
             the sequential baseline's zero-cost buffering stage).
     """
 
-    sensors: list[SensorSnapshot]
+    sensors: Sequence[SensorSnapshot]
     sensor_xy: np.ndarray
     gamma: np.ndarray
     trust: np.ndarray
     costs: np.ndarray
     #: precomputed :func:`announcement_token` of ``sensors`` (lazy).
     _token: tuple | None = field(default=None, repr=False, compare=False)
+    #: the producing batch's O(1) version stamp, when built from one.
+    _stamp: tuple | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # construction
@@ -117,6 +129,17 @@ class ValuationKernel:
         # are frozen dataclasses, so the only mutable surface is the list
         # slots), exactly as mutating the stacked arrays would be.  Every
         # in-repo producer builds a fresh list per slot.
+        #
+        # An AnnouncementBatch producer takes the zero-copy path: its
+        # stacked arrays are adopted as-is (same values the per-snapshot
+        # loop would stack — each snapshot is materialized *from* them)
+        # and its version stamp replaces the O(n) token build.
+        arrays = getattr(sensors, "kernel_arrays", None)
+        if arrays is not None:
+            xy, gamma, trust, costs = arrays()
+            kernel = cls(sensors, xy, gamma, trust, costs)
+            kernel._stamp = sensors.token
+            return kernel
         sensors = sensors if type(sensors) is list else list(sensors)
         n = len(sensors)
         xy = np.empty((n, 2), dtype=float)
@@ -130,6 +153,22 @@ class ValuationKernel:
             trust[j] = snapshot.trust
             costs[j] = snapshot.cost
         return cls(sensors, xy, gamma, trust, costs)
+
+    @classmethod
+    def from_batch(cls, batch) -> "ValuationKernel":
+        """Zero-copy kernel over an :class:`~repro.sensors.AnnouncementBatch`.
+
+        The batch's stacked arrays become the kernel's arrays (array
+        slices, no per-sensor loop) and its O(1) token becomes the reuse
+        stamp.  Equivalent to ``from_sensors(batch)`` — this spelling
+        exists for callers that want to require the batch protocol.
+        """
+        if getattr(batch, "kernel_arrays", None) is None:
+            raise TypeError(
+                "from_batch needs an AnnouncementBatch-like producer "
+                "(kernel_arrays/token); use from_sensors for snapshot lists"
+            )
+        return cls.from_sensors(batch)
 
     @classmethod
     def ensure(
@@ -147,13 +186,20 @@ class ValuationKernel:
         truth.
         """
         if kernel is not None and kernel.matches(sensors):
-            # Rebind to the current announcement list: identity attributes
-            # are equal by the match, and rebinding restores the O(1)
-            # ``is`` fast path for every later check this slot (the kernel
-            # otherwise stays pinned to the *previous* slot's list after a
-            # cross-slot reuse and pays a token compare per consumer).
+            # Rebind to the current announcements: identity attributes are
+            # equal by the match, and rebinding restores the O(1) ``is``
+            # fast path for every later check this slot (the kernel
+            # otherwise stays pinned to the *previous* slot's batch after a
+            # cross-slot reuse and pays a stamp/token compare per consumer).
             if sensors is not kernel.sensors:
-                kernel.sensors = sensors if type(sensors) is list else list(sensors)
+                kernel.sensors = as_announcement_sequence(sensors)
+                # A token-less newcomer (plain snapshot list) proved equal
+                # identity via matches(), so any existing stamp still
+                # describes this kernel — keep it rather than degrading
+                # future batch comparisons to the O(n) token walk.
+                stamp = getattr(sensors, "token", None)
+                if stamp is not None:
+                    kernel._stamp = stamp
             return kernel
         return cls.from_sensors(sensors)
 
@@ -165,17 +211,24 @@ class ValuationKernel:
         return self._token
 
     def matches(self, sensors: Sequence[SensorSnapshot]) -> bool:
-        """O(1) reuse check for the common case, token compare otherwise.
+        """O(1) reuse check for the common cases, token compare otherwise.
 
         Allocators call this on every ``allocate``; when they are handed
-        the very list the slot kernel was built from (the engine's normal
-        path) the identity check answers immediately.  Otherwise the
-        candidates are compared against the *cached* identity token one
-        sensor at a time — mobile fleets (the usual mismatch) exit on the
-        first moved sensor instead of paying a full token build.
+        the very batch/list the slot kernel was built from (the engine's
+        normal path) the identity check answers immediately.  When both
+        sides carry batch version stamps the stamps decide in O(1): equal
+        stamps guarantee identical announcement identity, and unequal
+        stamps mean the producing fleet state actually changed (stamps are
+        bumped only on real position/exhaustion changes) or the producers
+        are different fleets — either way a rebuild is the correct, cheap
+        answer.  Only mixed list/batch comparisons fall back to the
+        per-sensor token walk, which exits on the first mismatch.
         """
         if sensors is self.sensors:
             return True
+        stamp = getattr(sensors, "token", None)
+        if stamp is not None and self._stamp is not None:
+            return stamp == self._stamp
         if len(sensors) != len(self.sensors):
             return False
         for cached, snapshot in zip(self.token, sensors):
@@ -212,7 +265,7 @@ class ValuationKernel:
         equal by :meth:`matches`, but announced costs live only on the
         current snapshots.
         """
-        source = self.sensors if snapshots is None else list(snapshots)
+        source = self.sensors if snapshots is None else as_announcement_sequence(snapshots)
         if indices is None:
             return SensorRoster(source, self.sensor_xy, self.gamma, self.trust)
         picked = [source[j] for j in indices]

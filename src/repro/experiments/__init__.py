@@ -12,6 +12,7 @@ from .figures import (
     fig8,
     fig9,
     fig10,
+    fig_event,
     trust_sweep,
 )
 from .reporting import ascii_chart, format_figure, format_metric_table
@@ -56,5 +57,6 @@ __all__ = [
     "fig8",
     "fig9",
     "fig10",
+    "fig_event",
     "trust_sweep",
 ]

@@ -41,6 +41,10 @@ class ExperimentScale:
     intel_sensors: int
     # mix experiment (Figure 10)
     mix_budget_factors: tuple[float, ...]
+    # event-detection extension figure (fig_event; defaults keep older
+    # scale definitions valid)
+    event_budget_factors: tuple[float, ...] = (5, 15, 30, 60)
+    event_arrivals_per_slot: int = 2
 
     def __post_init__(self) -> None:
         if self.n_slots < 1:
@@ -63,6 +67,8 @@ PAPER = ExperimentScale(
     lm_arrivals_per_slot=10,
     intel_sensors=30,
     mix_budget_factors=(7, 10, 15, 20, 25),
+    event_budget_factors=(5, 10, 20, 40, 60),
+    event_arrivals_per_slot=3,
 )
 
 CI = ExperimentScale(
@@ -81,6 +87,8 @@ CI = ExperimentScale(
     lm_arrivals_per_slot=5,
     intel_sensors=20,
     mix_budget_factors=(7, 15, 25),
+    event_budget_factors=(5, 15, 30, 60),
+    event_arrivals_per_slot=2,
 )
 
 _SCALES = {"paper": PAPER, "ci": CI}

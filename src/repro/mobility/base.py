@@ -12,6 +12,8 @@ from __future__ import annotations
 import abc
 from typing import Sequence
 
+import numpy as np
+
 from ..spatial import Location, Region
 
 __all__ = ["MobilityModel"]
@@ -37,6 +39,18 @@ class MobilityModel(abc.ABC):
     @abc.abstractmethod
     def advance(self) -> None:
         """Move every sensor one time slot forward."""
+
+    def locations_xy(self) -> np.ndarray:
+        """Current positions as an ``(n, 2)`` float array.
+
+        The array-backed fleet consumes positions through this method so
+        the slot path never builds per-sensor :class:`Location` objects.
+        The base implementation converts :meth:`locations`; array-native
+        models override it with a zero-copy view.  Callers must treat the
+        result as **read-only** (and copy before storing — a model may
+        reuse or mutate its buffer on :meth:`advance`).
+        """
+        return np.asarray([(loc.x, loc.y) for loc in self.locations()], dtype=float)
 
     # ------------------------------------------------------------------
     # conveniences shared by all models

@@ -72,6 +72,11 @@ class RandomWaypointMobility(MobilityModel):
     def locations(self) -> list[Location]:
         return [Location(float(x), float(y)) for x, y in self._positions]
 
+    def locations_xy(self) -> np.ndarray:
+        # The stacked positions themselves; advance() rebinds rather than
+        # mutates, so a previously returned array stays frame-stable.
+        return self._positions
+
     def advance(self) -> None:
         n = self.n_sensors
         speeds = self._rng.uniform(0.0, self._max_speeds)
@@ -138,6 +143,12 @@ class WaypointMobility(MobilityModel):
 
     def locations(self) -> list[Location]:
         return [Location(float(x), float(y)) for x, y in self._positions]
+
+    def locations_xy(self) -> np.ndarray:
+        # Read-only view of the live position buffer (advance() mutates it
+        # in place) — consumers must copy before storing, as documented on
+        # MobilityModel.locations_xy.
+        return self._positions
 
     def sample_target(self, index: int) -> Location:
         """Next trip destination for sensor ``index``; uniform by default.

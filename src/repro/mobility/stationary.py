@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from ..spatial import Location, Region
 from .base import MobilityModel
 
@@ -27,6 +29,7 @@ class StationaryMobility(MobilityModel):
             raise ValueError(f"{len(outside)} positions fall outside the region")
         self._region = region
         self._positions = tuple(positions)
+        self._xy = np.asarray([(p.x, p.y) for p in self._positions], dtype=float)
 
     @property
     def n_sensors(self) -> int:
@@ -38,6 +41,9 @@ class StationaryMobility(MobilityModel):
 
     def locations(self) -> tuple[Location, ...]:
         return self._positions
+
+    def locations_xy(self) -> np.ndarray:
+        return self._xy
 
     def advance(self) -> None:
         return None

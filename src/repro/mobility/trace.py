@@ -10,9 +10,11 @@ what the paper's methodology requires for a fair algorithm comparison.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
+
+import numpy as np
 
 from ..spatial import Location, Region
 from .base import MobilityModel
@@ -30,6 +32,10 @@ class MobilityTrace:
 
     region: Region
     frames: tuple[tuple[Location, ...], ...]
+    #: lazily built per-frame ``(n, 2)`` arrays (see :meth:`frame_xy`).
+    _xy_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
 
     def __post_init__(self) -> None:
         if not self.frames:
@@ -51,6 +57,19 @@ class MobilityTrace:
     @classmethod
     def from_frames(cls, region: Region, frames: Sequence[Sequence[Location]]) -> "MobilityTrace":
         return cls(region, tuple(tuple(frame) for frame in frames))
+
+    def frame_xy(self, t: int) -> np.ndarray:
+        """Frame ``t`` as an ``(n, 2)`` float array (built once, cached).
+
+        The array-backed fleet replays traces through this accessor so the
+        slot path never loops over :class:`Location` objects; repeated
+        replays of the same trace share the stacked frames.
+        """
+        xy = self._xy_cache.get(t)
+        if xy is None:
+            xy = np.asarray([(loc.x, loc.y) for loc in self.frames[t]], dtype=float)
+            self._xy_cache[t] = xy
+        return xy
 
     # ------------------------------------------------------------------
     # (de)serialization — traces are plain JSON so users can bring their own
@@ -113,6 +132,9 @@ class TraceMobility(MobilityModel):
 
     def locations(self) -> Sequence[Location]:
         return self._trace.frames[self._cursor]
+
+    def locations_xy(self) -> np.ndarray:
+        return self._trace.frame_xy(self._cursor)
 
     def advance(self) -> None:
         if self._cursor < self._trace.n_slots - 1:

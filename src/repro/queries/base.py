@@ -36,6 +36,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..sensors import SensorSnapshot
+from ..sensors.state import as_announcement_sequence
 
 __all__ = [
     "QueryType",
@@ -105,7 +106,10 @@ class SensorRoster:
         gamma: np.ndarray | None = None,
         trust: np.ndarray | None = None,
     ) -> None:
-        self.snapshots = list(snapshots)
+        # Lists/tuples and AnnouncementBatch views index in O(1) and are
+        # treated as frozen — adopt them as-is (copying a batch would
+        # materialize every lazy snapshot); copy anything else defensively.
+        self.snapshots = as_announcement_sequence(snapshots)
         n = len(self.snapshots)
         if xy is None:
             xy = np.empty((n, 2), dtype=float)

@@ -12,6 +12,7 @@ from .costs import (
 from .fleet import FleetConfig, SensorFleet
 from .reputation import BetaReputationTracker, ReputationRecord
 from .sensor import Sensor, SensorSnapshot
+from .state import AnnouncementBatch, FleetState
 from .trust import BetaTrust, FullTrust, TieredTrust, TrustModel, UniformTrust
 
 __all__ = [
@@ -19,6 +20,8 @@ __all__ = [
     "SensorSnapshot",
     "SensorFleet",
     "FleetConfig",
+    "FleetState",
+    "AnnouncementBatch",
     "EnergyCostModel",
     "FixedEnergyCost",
     "LinearEnergyCost",

@@ -13,6 +13,13 @@ The paper's experiments use two energy models (Section 4.1):
 
 and a windowed privacy-loss model (eq. 14) that penalizes reporting in
 consecutive slots, scaled by a discrete privacy sensitivity level (eq. 15).
+
+These scalar models are the slot protocol's executable reference: the
+array-backed fleet (:class:`~repro.sensors.state.FleetState`) prices whole
+announcement batches with the same formulas vectorized — same per-element
+operation order, and the eq.-14 accumulation is exact small-integer float
+arithmetic — so batch prices are bit-identical to calling these models
+sensor by sensor (pinned by ``tests/test_fleet_batch_parity.py``).
 """
 
 from __future__ import annotations

@@ -10,6 +10,16 @@ Allocators never touch :class:`Sensor` directly: each slot the fleet
 publishes immutable :class:`SensorSnapshot` announcements (id, location,
 price, quality attributes), mirroring the protocol of Section 2.1 where
 sensors "announce their location and price" at the beginning of each slot.
+
+Since the array-backed fleet redesign these classes are the *scalar
+reference* of the slot protocol, not its hot path: the fleet keeps the
+population in a :class:`~repro.sensors.state.FleetState` (structure of
+arrays) and announces via :class:`~repro.sensors.state.AnnouncementBatch`,
+whose vectorized eq.-8 arithmetic is pinned bit-identical to
+:meth:`Sensor.announce_cost` by ``tests/test_fleet_batch_parity.py``.
+:meth:`SensorFleet.sensors <repro.sensors.SensorFleet.sensors>`
+materializes :class:`Sensor` objects as read-only views over the arrays,
+and batch rows materialize as :class:`SensorSnapshot` lazily.
 """
 
 from __future__ import annotations

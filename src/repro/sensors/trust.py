@@ -6,6 +6,10 @@ keeps trust fixed over a simulation.  This module is that mechanism's stand-
 in: pluggable distributions that draw per-sensor trust values, including the
 sweeps behind the Section 4.7 observation that "the more trustworthy the
 sensors are, the more utility they bring".
+
+Every model samples the whole population in one vectorized draw; the
+resulting array feeds :class:`~repro.sensors.state.FleetState` directly
+(the array-backed fleet keeps trust stacked, never per-object).
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ SPEC_FILES = sorted(SPEC_DIR.glob("*.json"))
 EXPECTED = {
     "adversarial_pricing.json",
     "dense_urban.json",
+    "metro_scale.json",
     "rush_hour_burst.json",
     "sparse_rural.json",
     "trust_churn.json",
@@ -44,6 +45,28 @@ def test_cheap_specs_run(name):
     spec = ScenarioSpec.from_json(SPEC_DIR / name)
     summary = spec.run(2)
     assert summary.n_slots == 2
+
+
+def test_metro_scale_spec_declares_the_batch_sharded_path():
+    """The metro spec wires 10^5 sensors through auto-sharding; a scaled-
+    down build of the same spec must drive the sharded kernel from the
+    fleet's AnnouncementBatch (the loop-free slot path it showcases)."""
+    import dataclasses
+
+    from repro.core import ShardedKernel
+    from repro.sensors import AnnouncementBatch
+
+    spec = ScenarioSpec.from_json(SPEC_DIR / "metro_scale.json")
+    assert spec.n_sensors >= 100_000
+    assert spec.sharding == "auto"
+    small = dataclasses.replace(spec, n_sensors=1500, n_slots=2)
+    engine = small.build()
+    assert isinstance(engine.fleet.announcements(), AnnouncementBatch)
+    summary = engine.run(2)
+    assert summary.n_slots == 2
+    kernel = engine._kernel
+    assert isinstance(kernel, ShardedKernel)
+    assert isinstance(kernel.sensors, AnnouncementBatch)
 
 
 def test_compare_scenarios_sweeps_spec_files():
