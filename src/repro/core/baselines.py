@@ -16,6 +16,18 @@ One engine covers both published baselines:
 
 because a single-sensor point query *is* a set query whose second sensor
 never adds value.
+
+The implementation is array-native end to end: candidate sets come from the
+kernel's sparse point rows or each query's vectorized
+:meth:`~repro.queries.Query.relevant_mask` (scalar ``relevant`` scans
+survive only as the fallback for query types without vectorized geometry),
+per-round gains arrive through the batch-gain protocol, the paid/chosen
+bookkeeping lives in boolean column arrays, and announcement snapshots are
+materialized only for the sensors actually picked (``result.record`` /
+``state.add`` time).  Sensor picks replicate the historical per-candidate
+scan *exactly* — including its sequential "beats the incumbent by more than
+``min_gain``" tie-breaking — so allocations are bit-identical to the
+pre-vectorization implementation.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ from typing import Sequence
 import numpy as np
 
 from ..queries import PointQuery, Query
+from ..queries.base import resolve_relevant_mask
 from ..sensors import SensorSnapshot
 from ..sensors.state import as_announcement_sequence
 from .allocation import AllocationResult, check_distinct
@@ -65,17 +78,18 @@ class BaselineAllocator:
         # Keep an AnnouncementBatch lazy; copy only non-indexable inputs.
         sensors = as_announcement_sequence(sensors)
         kernel = ValuationKernel.ensure(kernel, sensors)
+        n_all = len(sensors)
 
         # Vectorized Q_{l_s} prefilter + precomputed value rows for plain
-        # point queries (the scalar fallback covers every other type).  A
-        # sharding-capable kernel supplies per-query sparse (columns,
-        # values) pairs — every omitted column is exactly zero in the
-        # dense row, so the candidate sets below come out identical.
+        # point queries.  A sharding-capable kernel supplies per-query
+        # sparse (columns, values) pairs — every omitted column is exactly
+        # zero in the dense row, so the candidate sets below come out
+        # identical.
         plain = [q for q in queries if type(q) is PointQuery]
         value_rows: dict[str, np.ndarray] = {}
         sparse_rows: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         sparse_fn = getattr(kernel, "sparse_single_values", None)
-        candidates_of = getattr(kernel, "candidate_indices", None)
+        view_of = getattr(kernel, "candidate_view", None)
         if plain:
             if sparse_fn is not None:
                 for query, entry in zip(plain, sparse_fn(plain)):
@@ -84,14 +98,18 @@ class BaselineAllocator:
                 rows = kernel.single_values(plain)
                 value_rows = {q.query_id: rows[i] for i, q in enumerate(plain)}
 
-        paid: set[int] = set()  # sensors whose cost is already covered
+        # Announced costs as one stacked column (the exact values the lazy
+        # snapshots materialize from); snapshot lists pay one gather.
+        announced_costs = getattr(sensors, "costs", None)
+        if announced_costs is None:
+            announced_costs = np.fromiter((s.cost for s in sensors), float, n_all)
+        paid = np.zeros(n_all, dtype=bool)  # cost already covered (buffered)
         answered: set[str] = set()
 
         for query in queries:
             if query.query_id in answered:
                 continue
             state = query.new_state()
-            spent_new: list[SensorSnapshot] = []
             sparse = sparse_rows.get(query.query_id)
             row = value_rows.get(query.query_id)
             if sparse is not None:
@@ -103,66 +121,84 @@ class BaselineAllocator:
                 candidate_idx = np.flatnonzero(row > 0.0)
                 candidate_vals = row[candidate_idx]
             else:
-                cand = candidates_of(query) if candidates_of is not None else None
-                if cand is not None:
-                    # Candidate shards only; same ascending order as the
-                    # full scan, so near-tie picks cannot diverge.
-                    candidate_idx = np.fromiter(
-                        (j for j in cand if query.relevant(sensors[j])), np.intp
-                    )
+                # Non-point queries: one relevance-mask pass over the
+                # candidate shards (or the full stacked arrays), ascending
+                # column order either way so near-tie picks cannot diverge
+                # from the historical full scan.
+                view = view_of(query) if view_of is not None else None
+                if view is not None:
+                    cand, cand_xy, cand_gamma, cand_trust = view
+                    mask = resolve_relevant_mask(query, cand_xy, cand_gamma, cand_trust)
+                    if mask is not None:
+                        candidate_idx = cand[mask]
+                    else:
+                        candidate_idx = np.fromiter(
+                            (j for j in cand if query.relevant(sensors[j])), np.intp
+                        )
                 else:
-                    candidate_idx = np.fromiter(
-                        (j for j, s in enumerate(sensors) if query.relevant(s)),
-                        np.intp,
+                    mask = resolve_relevant_mask(
+                        query, kernel.sensor_xy, kernel.gamma, kernel.trust
                     )
+                    if mask is not None:
+                        candidate_idx = np.flatnonzero(mask)
+                    else:
+                        candidate_idx = np.fromiter(
+                            (j for j, s in enumerate(sensors) if query.relevant(s)),
+                            np.intp,
+                        )
                 candidate_vals = None
-            candidates = [sensors[j] for j in candidate_idx]
-            # Per-query roster: the batch state evaluates all of this
-            # query's candidates in one vectorized pass per round instead
-            # of one Python `state.gain` call per (round, candidate).
+            n_cand = len(candidate_idx)
+            # Per-query roster over a lazy column view: the batch state
+            # evaluates all of this query's candidates in one vectorized
+            # pass per round, and no snapshot is built until a candidate
+            # actually wins a round.
             roster = kernel.roster(candidate_idx, sensors)
             if candidate_vals is not None:
                 roster.value_rows[query.query_id] = candidate_vals
             else:
                 # The roster holds exactly this query's relevant sensors.
-                roster.relevance_rows[query.query_id] = np.ones(
-                    len(candidate_idx), dtype=bool
-                )
+                roster.relevance_rows[query.query_id] = np.ones(n_cand, dtype=bool)
             batch = state.batch(roster)
             local_indices = roster.all_indices
-            chosen_ids: set[int] = set()
-            while True:
-                gains = batch.gain_many(local_indices) if candidates else ()
-                best, best_net, best_gain = None, 0.0, 0.0
-                for position, snapshot in enumerate(candidates):
-                    if snapshot.sensor_id in chosen_ids:
-                        continue
-                    gain = float(gains[position])
-                    if gain <= self.min_gain:
-                        continue
-                    effective_cost = 0.0 if snapshot.sensor_id in paid else snapshot.cost
-                    net = gain - effective_cost
-                    if net > best_net + self.min_gain:
-                        best, best_net, best_gain = snapshot, net, gain
-                if best is None:
+            cand_costs = announced_costs[candidate_idx]
+            chosen = np.zeros(n_cand, dtype=bool)
+            while n_cand:
+                gains = batch.gain_many(local_indices)
+                effective = np.where(paid[candidate_idx], 0.0, cand_costs)
+                nets = gains - effective
+                # The historical pick scan, array-side: walk the candidates
+                # in order, replacing the incumbent only when a net beats
+                # it by more than min_gain.  Each record break is one
+                # vectorized comparison over the remaining tail, so the
+                # loop runs once per *strict improvement*, not per sensor.
+                positions = np.flatnonzero((~chosen) & (gains > self.min_gain))
+                best_pos = -1
+                best_net = 0.0
+                while positions.size:
+                    hits = np.flatnonzero(nets[positions] > best_net + self.min_gain)
+                    if hits.size == 0:
+                        break
+                    first = int(hits[0])
+                    best_pos = int(positions[first])
+                    best_net = float(nets[best_pos])
+                    positions = positions[first + 1 :]
+                if best_pos < 0:
                     break
-                newly_paid = best.sensor_id not in paid
-                payment = best.cost if newly_paid else 0.0
-                state.add(best)
-                chosen_ids.add(best.sensor_id)
-                paid.add(best.sensor_id)
-                if newly_paid:
-                    spent_new.append(best)
-                result.record(query, best, best_gain, payment)
+                column = int(candidate_idx[best_pos])
+                snapshot = roster.snapshots[best_pos]
+                newly_paid = not paid[column]
+                payment = float(cand_costs[best_pos]) if newly_paid else 0.0
+                state.add(snapshot)
+                chosen[best_pos] = True
+                paid[column] = True
+                result.record(query, snapshot, float(gains[best_pos]), payment)
             answered.add(query.query_id)
 
             # Point-query co-location sharing: "a sensor that is selected to
             # answer a query at a certain location is also assigned to all
             # other queries at that location" (Section 4.3).
-            if self.share_colocated and isinstance(query, PointQuery) and chosen_ids:
-                chosen_snapshot = next(
-                    s for s in candidates if s.sensor_id in chosen_ids
-                )
+            if self.share_colocated and isinstance(query, PointQuery) and chosen.any():
+                chosen_snapshot = roster.snapshots[int(np.argmax(chosen))]
                 for other in queries:
                     if (
                         isinstance(other, PointQuery)

@@ -41,6 +41,7 @@ from typing import Sequence
 import numpy as np
 
 from ..queries import PointQuery, Query, ValuationState
+from ..queries.base import resolve_relevant_mask
 from ..sensors import SensorSnapshot
 from ..sensors.state import as_announcement_sequence
 from .allocation import AllocationResult, check_distinct
@@ -148,14 +149,17 @@ class GreedyAllocator:
         n_queries, n_all = len(queries), len(sensors)
 
         # Relevance over the full announcement set: one kernel pass for the
-        # plain point queries (the bulk of every slot), scalar `relevant`
-        # for everything else.  The single-value block doubles as the point
-        # queries' precomputed gain rows below.  A sharding-capable kernel
-        # (see repro.core.sharding) is consumed through its candidate
-        # hooks: point values arrive as per-query sparse (columns, values)
-        # pairs instead of a dense (q, n) block, and scalar relevance scans
-        # are restricted to each query's candidate shards — all omitted
-        # pairs are exactly zero/irrelevant, so both forms stay
+        # plain point queries (the bulk of every slot), one vectorized
+        # `relevant_mask` pass per other query type over the kernel's
+        # stacked arrays — the scalar per-snapshot `relevant` scan survives
+        # only as the fallback for query types that declare no vectorized
+        # geometry.  The single-value block doubles as the point queries'
+        # precomputed gain rows below.  A sharding-capable kernel (see
+        # repro.core.sharding) is consumed through its candidate hooks:
+        # point values arrive as per-query sparse (columns, values) pairs
+        # instead of a dense (q, n) block, and non-point masks/scans are
+        # evaluated on each query's memoized candidate-shard array blocks —
+        # all omitted pairs are exactly zero/irrelevant, so both forms stay
         # bit-identical to the dense pass.
         plain_idx = [i for i, q in enumerate(queries) if type(q) is PointQuery]
         sparse_fn = getattr(kernel, "sparse_single_values", None)
@@ -173,19 +177,30 @@ class GreedyAllocator:
                     relevance_all[i, idx] = vals > 0.0
             else:
                 relevance_all[plain_idx] = single_values > 0.0
-        candidates_of = getattr(kernel, "candidate_indices", None)
+        view_of = getattr(kernel, "candidate_view", None)
         for i, query in enumerate(queries):
             if type(query) is not PointQuery:
-                cand = candidates_of(query) if candidates_of is not None else None
-                if cand is None:
-                    relevance_all[i] = np.fromiter(
-                        (query.relevant(s) for s in sensors), bool, n_all
+                view = view_of(query) if view_of is not None else None
+                if view is None:
+                    mask = resolve_relevant_mask(
+                        query, kernel.sensor_xy, kernel.gamma, kernel.trust
                     )
+                    if mask is not None:
+                        relevance_all[i] = mask
+                    else:
+                        relevance_all[i] = np.fromiter(
+                            (query.relevant(s) for s in sensors), bool, n_all
+                        )
                 else:
-                    row = relevance_all[i]
-                    for j in cand:
-                        if query.relevant(sensors[j]):
-                            row[j] = True
+                    cand, cand_xy, cand_gamma, cand_trust = view
+                    mask = resolve_relevant_mask(query, cand_xy, cand_gamma, cand_trust)
+                    if mask is not None:
+                        relevance_all[i, cand] = mask
+                    else:
+                        row = relevance_all[i]
+                        for j in cand:
+                            if query.relevant(sensors[j]):
+                                row[j] = True
 
         # Candidate roster: the paper's Q_{l_s} — sensors serving anything.
         cols = np.flatnonzero(relevance_all.any(axis=0))

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..queries import (
     LocationMonitoringQuery,
     PointQuery,
@@ -26,6 +28,21 @@ from ..queries import (
 from ..sensors import SensorSnapshot
 from .allocation import AllocationResult
 from .sampling import SamplingPlan, paper_weight_function, plan_sampling
+
+
+def _announcement_xy(sensors: Sequence[SensorSnapshot]) -> np.ndarray:
+    """``(n, 2)`` coordinates of an announcement sequence.
+
+    An :class:`~repro.sensors.AnnouncementBatch` hands over its stacked
+    array directly (no snapshot materialization); plain lists are stacked
+    once here.
+    """
+    xy = getattr(sensors, "xy", None)
+    if xy is not None:
+        return xy
+    return np.asarray(
+        [(s.location.x, s.location.y) for s in sensors], dtype=float
+    ).reshape(-1, 2)
 
 __all__ = [
     "AlphaSchedule",
@@ -201,14 +218,36 @@ class RegionMonitoringController:
         sensors: Sequence[SensorSnapshot],
         t: int,
     ) -> dict[int, int]:
-        """``k`` per sensor: how many active monitored regions contain it."""
-        counts: dict[int, int] = {}
-        active = [q for q in queries if q.active(t)]
-        for snapshot in sensors:
-            counts[snapshot.sensor_id] = sum(
-                1 for q in active if q.region.contains(snapshot.location)
-            )
-        return counts
+        """``k`` per sensor: how many active monitored regions contain it.
+
+        One :meth:`~repro.queries.RegionMonitoringQuery.relevant_mask` pass
+        per active query over the stacked announcement coordinates — no
+        per-snapshot ``region.contains`` scans.
+        """
+        masks = self._region_masks(queries, sensors, t)
+        return self._counts_from_masks(masks, sensors)
+
+    @staticmethod
+    def _region_masks(
+        queries: Sequence[RegionMonitoringQuery],
+        sensors: Sequence[SensorSnapshot],
+        t: int,
+    ) -> dict[str, np.ndarray]:
+        """One in-region mask per active query over the stacked coordinates."""
+        xy = _announcement_xy(sensors)
+        return {q.query_id: q.relevant_mask(xy) for q in queries if q.active(t)}
+
+    @staticmethod
+    def _counts_from_masks(
+        masks: dict[str, np.ndarray], sensors: Sequence[SensorSnapshot]
+    ) -> dict[int, int]:
+        total = np.zeros(len(sensors), dtype=np.int64)
+        for mask in masks.values():
+            total += mask
+        ids = getattr(sensors, "sensor_ids", None)
+        if ids is None:
+            ids = [s.sensor_id for s in sensors]
+        return {int(sid): int(k) for sid, k in zip(ids, total)}
 
     def create_point_queries(
         self,
@@ -216,13 +255,20 @@ class RegionMonitoringController:
         sensors: Sequence[SensorSnapshot],
         t: int,
     ) -> tuple[list[PointQuery], dict[str, SamplingPlan]]:
-        counts = self.region_counts(queries, sensors, t)
+        # One mask pass per active query, shared by the k-counts and the
+        # per-query in-region candidate gathers below.
+        masks = self._region_masks(queries, sensors, t)
+        counts = self._counts_from_masks(masks, sensors)
         children: list[PointQuery] = []
         plans: dict[str, SamplingPlan] = {}
         for query in queries:
             if not query.active(t):
                 continue
-            in_region = [s for s in sensors if query.region.contains(s.location)]
+            # Mask first, materialize after: only the (typically few)
+            # in-region announcements become snapshot objects.
+            in_region = [
+                sensors[j] for j in np.flatnonzero(masks[query.query_id])
+            ]
             weighted = {
                 s.sensor_id: s.cost * self.weight_fn(counts[s.sensor_id])
                 for s in in_region

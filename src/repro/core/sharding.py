@@ -38,7 +38,16 @@ unchanged):
     the sharded replacement for the dense ``(q, n)`` block;
 ``candidate_indices(query)``
     the candidate column superset for one query (or ``None`` for unknown
-    query types), used to restrict scalar ``Query.relevant`` scans.
+    query types), used to restrict scalar ``Query.relevant`` scans;
+
+``candidate_view(query)``
+    :meth:`candidate_indices` plus the gathered ``(xy, gamma, trust)``
+    array blocks of those columns, memoized per distinct cell range — the
+    sharded entry point of the batch-relevance protocol
+    (:meth:`~repro.queries.Query.relevant_mask`).  Region-heavy slots
+    evaluate per-query relevance masks and coverage-mask matrices on these
+    per-shard blocks, so many large region queries sharing a neighbourhood
+    stop rasterizing against the whole fleet and reuse one gather.
 
 Per-cell state lives in :class:`FleetShard`: the sorted member columns,
 plus a lazily built shard-local :class:`ValuationKernel` over just those
@@ -192,6 +201,10 @@ class ShardedKernel(ValuationKernel):
     )
     _shards: dict = field(default_factory=dict, repr=False, compare=False)
     _range_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    #: per cell-range gathered (xy, gamma, trust) blocks — the batch-
+    #: relevance/coverage-mask working set, reused across queries whose
+    #: reach resolves to the same cell range (see :meth:`candidate_view`).
+    _gather_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # construction / reuse
@@ -287,16 +300,41 @@ class ShardedKernel(ValuationKernel):
                 self._shards[cell] = shard
             yield shard
 
-    def _box_candidates(
-        self, x_min: float, x_max: float, y_min: float, y_max: float
-    ) -> np.ndarray:
-        """Sorted candidate columns for a box reach, memoized per cell range.
+    def _query_box(
+        self, query: Query
+    ) -> tuple[float, float, float, float] | None:
+        """The axis-aligned reach box of a known query type, else ``None``.
+
+        The geometric contracts behind the known types are exact-type
+        checks on purpose, since a subclass may override ``relevant``
+        arbitrarily.
+        """
+        t = type(query)
+        if t in _DISK_TYPES:
+            location, reach = query.location, query.dmax
+            return (
+                location.x - reach,
+                location.x + reach,
+                location.y - reach,
+                location.y + reach,
+            )
+        if t in _RECT_TYPES:
+            region, pad = query.region, query.sensing_range
+            return (
+                region.x_min - pad,
+                region.x_max + pad,
+                region.y_min - pad,
+                region.y_max + pad,
+            )
+        return None
+
+    def _range_candidates(self, rng) -> np.ndarray:
+        """Sorted candidate columns for one cell range (memoized).
 
         A reach inside one cell is that shard's member array as-is; only
         boundary-straddling reaches pay the sorted merge, once per distinct
         cell range (localized workloads re-hit the same neighbourhoods).
         """
-        rng = self.index.cell_range(x_min, x_max, y_min, y_max)
         if rng is None:
             return _EMPTY
         c0, c1, r0, r1 = rng
@@ -308,31 +346,48 @@ class ShardedKernel(ValuationKernel):
             self._range_cache[rng] = cached
         return cached
 
+    def _box_candidates(
+        self, x_min: float, x_max: float, y_min: float, y_max: float
+    ) -> np.ndarray:
+        """Sorted candidate columns for a box reach, memoized per cell range."""
+        return self._range_candidates(
+            self.index.cell_range(x_min, x_max, y_min, y_max)
+        )
+
     def candidate_indices(self, query: Query) -> np.ndarray | None:
         """Superset of the kernel columns ``query`` could find relevant.
 
-        ``None`` means "unknown query type — scan the full roster"; the
-        geometric contracts behind the known types are exact-type checks on
-        purpose, since a subclass may override ``relevant`` arbitrarily.
+        ``None`` means "unknown query type — scan the full roster" (see
+        :meth:`_query_box` for the exact-type contract).
         """
-        t = type(query)
-        if t in _DISK_TYPES:
-            location, reach = query.location, query.dmax
-            return self._box_candidates(
-                location.x - reach,
-                location.x + reach,
-                location.y - reach,
-                location.y + reach,
-            )
-        if t in _RECT_TYPES:
-            region, pad = query.region, query.sensing_range
-            return self._box_candidates(
-                region.x_min - pad,
-                region.x_max + pad,
-                region.y_min - pad,
-                region.y_max + pad,
-            )
-        return None
+        box = self._query_box(query)
+        return None if box is None else self._box_candidates(*box)
+
+    def candidate_view(
+        self, query: Query
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """``(columns, xy, gamma, trust)`` of the query's candidate shards.
+
+        The gathered array blocks are memoized per distinct cell range
+        (the same key space as the candidate-column cache), so a slot with
+        many region queries over the same neighbourhood pays each gather
+        once: every query sharing the range evaluates its relevance mask —
+        and, downstream, its coverage-mask matrix — on the same arrays
+        instead of re-rasterizing against the whole fleet.  ``None``
+        follows :meth:`candidate_indices`' unknown-type contract.  The
+        blocks are per-kernel caches: callers must treat them as
+        read-only.
+        """
+        box = self._query_box(query)
+        if box is None:
+            return None
+        rng = self.index.cell_range(*box)
+        idx = self._range_candidates(rng)
+        cached = self._gather_cache.get(rng)
+        if cached is None:
+            cached = (self.sensor_xy[idx], self.gamma[idx], self.trust[idx])
+            self._gather_cache[rng] = cached
+        return (idx, *cached)
 
     # ------------------------------------------------------------------
     # sharded valuation

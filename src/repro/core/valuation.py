@@ -43,7 +43,7 @@ import numpy as np
 
 from ..queries import PointQuery, SensorRoster
 from ..sensors import SensorSnapshot
-from ..sensors.state import as_announcement_sequence
+from ..sensors.state import SnapshotColumnView, as_announcement_sequence
 
 __all__ = ["ValuationKernel", "announcement_token"]
 
@@ -264,11 +264,17 @@ class ValuationKernel:
         zero-cost re-announcements): the identity attributes are guaranteed
         equal by :meth:`matches`, but announced costs live only on the
         current snapshots.
+
+        Column subsets are carried as a lazy
+        :class:`~repro.sensors.state.SnapshotColumnView`, so building a
+        roster over a candidate subset of an ``AnnouncementBatch`` never
+        materializes a snapshot — only the columns a consumer actually
+        indexes (the committed winners) are built.
         """
         source = self.sensors if snapshots is None else as_announcement_sequence(snapshots)
         if indices is None:
             return SensorRoster(source, self.sensor_xy, self.gamma, self.trust)
-        picked = [source[j] for j in indices]
+        picked = SnapshotColumnView(source, indices)
         return SensorRoster(
             picked, self.sensor_xy[indices], self.gamma[indices], self.trust[indices]
         )

@@ -25,7 +25,9 @@ RWM_WORKING_REGION = Region.centered_in(RWM_REGION, 50.0, 50.0)
 def _cached_trace(seed: int, n_sensors: int, n_slots: int) -> MobilityTrace:
     rng = np.random.default_rng(seed)
     model = RandomWaypointMobility(RWM_REGION, n_sensors, rng)
-    return MobilityTrace.from_frames(RWM_REGION, model.run(n_slots))
+    # Array-native frames: metro-scale worlds set up without building a
+    # single Location (the trace materializes them lazily if ever asked).
+    return MobilityTrace.from_xy(RWM_REGION, model.run_xy(n_slots))
 
 
 def build_rwm_scenario(

@@ -81,3 +81,21 @@ class MobilityModel(abc.ABC):
             self.advance()
             frames.append(list(self.locations()))
         return frames
+
+    def run_xy(self, n_slots: int) -> list[np.ndarray]:
+        """Array-native :meth:`run`: per-slot ``(n, 2)`` position copies.
+
+        The world-setup hot path: recording a metro-scale trace this way
+        never builds a :class:`Location` (pair with
+        :meth:`MobilityTrace.from_xy
+        <repro.mobility.trace.MobilityTrace.from_xy>`, whose frames stay
+        lazy).  Positions are copied per slot because models may mutate
+        their buffer on :meth:`advance`.
+        """
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        frames = [np.array(self.locations_xy(), dtype=float, copy=True)]
+        for _ in range(n_slots - 1):
+            self.advance()
+            frames.append(np.array(self.locations_xy(), dtype=float, copy=True))
+        return frames

@@ -94,15 +94,25 @@ class NokiaCampaignSynthesizer(WaypointMobility):
             if not (0.0 <= anchor_in_probability <= 1.0):
                 raise ValueError("anchor_in_probability must be in [0, 1]")
             p_in = anchor_in_probability
-        self._anchors: list[list[Location]] = []
-        for _ in range(n_sensors):
-            anchors = []
-            for _ in range(anchors_per_sensor):
-                if rng.uniform() < p_in:
-                    anchors.append(working_region.sample_location(rng))
-                else:
-                    anchors.append(self._sample_outside(region, working_region, rng))
-            self._anchors.append(anchors)
+        # Anchor assignment, batched (draw order: one in/out coin batch,
+        # then the in-hotspot coordinate batches, then the rejection-
+        # sampled outside coordinates): an (n, A, 2) anchor tensor instead
+        # of n*A Location objects.
+        a = anchors_per_sensor
+        inside = rng.uniform(size=n_sensors * a) < p_in
+        anchor_xy = np.empty((n_sensors * a, 2), dtype=float)
+        n_in = int(inside.sum())
+        anchor_xy[inside, 0] = rng.uniform(
+            working_region.x_min, working_region.x_max, size=n_in
+        )
+        anchor_xy[inside, 1] = rng.uniform(
+            working_region.y_min, working_region.y_max, size=n_in
+        )
+        outside = ~inside
+        anchor_xy[outside] = self._sample_outside_many(
+            region, working_region, rng, int(outside.sum())
+        )
+        self._anchor_xy = anchor_xy.reshape(n_sensors, a, 2)
         super().__init__(
             region,
             n_sensors,
@@ -113,10 +123,9 @@ class NokiaCampaignSynthesizer(WaypointMobility):
         )
         # Start each participant at one of their anchors, not uniformly:
         # the very first slots should already show realistic presence.
-        for i in range(n_sensors):
-            start = self._anchors[i][int(rng.integers(0, anchors_per_sensor))]
-            self._positions[i] = (start.x, start.y)
-            self._assign_trip(i)
+        choice = rng.integers(0, anchors_per_sensor, size=n_sensors)
+        self._positions[:] = self._anchor_xy[np.arange(n_sensors), choice]
+        self._assign_trips(np.arange(n_sensors, dtype=np.intp))
 
     @property
     def working_region(self) -> Region:
@@ -125,14 +134,35 @@ class NokiaCampaignSynthesizer(WaypointMobility):
     @property
     def anchors(self) -> list[list[Location]]:
         """Per-sensor anchor points (read-only intent)."""
-        return [list(a) for a in self._anchors]
+        return [
+            [Location(float(x), float(y)) for x, y in sensor_anchors]
+            for sensor_anchors in self._anchor_xy
+        ]
 
     def sample_target(self, index: int) -> Location:
-        anchors = self._anchors[index]
+        anchors = self._anchor_xy[index]
         anchor = anchors[int(self._rng.integers(0, len(anchors)))]
         jitter_x = self._rng.uniform(-self._anchor_jitter, self._anchor_jitter)
         jitter_y = self._rng.uniform(-self._anchor_jitter, self._anchor_jitter)
-        return self.region.clamp(anchor.translated(jitter_x, jitter_y))
+        return self.region.clamp(
+            Location(float(anchor[0]) + jitter_x, float(anchor[1]) + jitter_y)
+        )
+
+    def sample_targets(self, indices: np.ndarray) -> np.ndarray:
+        """Batched anchor-biased destinations (anchor choice batch, then
+        the two jitter batches, then a vectorized clamp)."""
+        k = len(indices)
+        choice = self._rng.integers(0, self._anchor_xy.shape[1], size=k)
+        picked = self._anchor_xy[indices, choice]
+        jitter_x = self._rng.uniform(-self._anchor_jitter, self._anchor_jitter, size=k)
+        jitter_y = self._rng.uniform(-self._anchor_jitter, self._anchor_jitter, size=k)
+        region = self.region
+        return np.column_stack(
+            [
+                np.clip(picked[:, 0] + jitter_x, region.x_min, region.x_max),
+                np.clip(picked[:, 1] + jitter_y, region.y_min, region.y_max),
+            ]
+        )
 
     def synthesize(self, n_slots: int, warmup: int = 20) -> MobilityTrace:
         """Produce a replayable trace of ``n_slots`` frames.
@@ -145,7 +175,8 @@ class NokiaCampaignSynthesizer(WaypointMobility):
             raise ValueError("n_slots must be positive")
         for _ in range(warmup):
             self.advance()
-        return MobilityTrace.from_frames(self.region, self.run(n_slots))
+        # Array-native trace build: no Location objects at any fleet size.
+        return MobilityTrace.from_xy(self.region, self.run_xy(n_slots))
 
     @classmethod
     def calibrated(
@@ -199,3 +230,27 @@ class NokiaCampaignSynthesizer(WaypointMobility):
                 return candidate
         # The hole covers almost everything — fall back to any location.
         return region.sample_location(rng)
+
+    @staticmethod
+    def _sample_outside_many(
+        region: Region,
+        hole: Region,
+        rng: np.random.Generator,
+        count: int,
+        max_tries: int = 64,
+    ) -> np.ndarray:
+        """Batched rejection sampling: ``count`` uniform points outside
+        ``hole`` as an ``(count, 2)`` array (each round re-draws only the
+        points still inside; after ``max_tries`` rounds the stragglers
+        keep their last draw, mirroring the scalar fallback)."""
+        xy = np.empty((count, 2), dtype=float)
+        xy[:, 0] = rng.uniform(region.x_min, region.x_max, size=count)
+        xy[:, 1] = rng.uniform(region.y_min, region.y_max, size=count)
+        pending = np.flatnonzero(hole.contains_many(xy))
+        tries = 1
+        while len(pending) and tries < max_tries:
+            xy[pending, 0] = rng.uniform(region.x_min, region.x_max, size=len(pending))
+            xy[pending, 1] = rng.uniform(region.y_min, region.y_max, size=len(pending))
+            pending = pending[hole.contains_many(xy[pending])]
+            tries += 1
+        return xy

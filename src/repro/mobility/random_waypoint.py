@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..dispatch import batch_hook_trusted
 from ..spatial import Location, Region
 from .base import MobilityModel
 
@@ -102,6 +103,25 @@ class WaypointMobility(MobilityModel):
     Used as the trip engine of the Nokia-campaign substitute
     (:mod:`repro.mobility.nokia`), where targets are drawn from per-sensor
     anchor points instead of uniformly.
+
+    :meth:`advance` is loop-free: one slot is three vectorized phases
+    (decrement pauses and move travellers / draw arrival pauses / assign
+    new trips).  Randomness is consumed in **batched phase order** —
+    ascending sensor index *within* each phase — instead of the historical
+    fully interleaved per-sensor order, so traces differ from the
+    pre-vectorization implementation for the same seed while the trip
+    *kinematics* are positionally identical (pinned by the replay-parity
+    test in ``tests/test_mobility.py``, which feeds recorded draws through
+    a per-sensor reference loop).  Per-slot draw order, for parity and
+    reproducibility:
+
+    1. arrival pauses: one ``integers(0, max_pause + 1, size=k)`` batch for
+       the sensors that reach their target this slot, ascending index;
+    2. trip targets: one :meth:`sample_targets` batch for the sensors
+       starting a new trip (pause just expired, or arrived and drew pause
+       0), ascending index;
+    3. trip speeds: one ``uniform(min_speed, max_speed, size=m)`` batch for
+       the same sensors.
     """
 
     def __init__(
@@ -130,8 +150,7 @@ class WaypointMobility(MobilityModel):
         self._targets = self._positions.copy()
         self._speeds = np.zeros(n_sensors)
         self._pauses = np.zeros(n_sensors, dtype=int)
-        for i in range(n_sensors):
-            self._assign_trip(i)
+        self._assign_trips(np.arange(n_sensors, dtype=np.intp))
 
     @property
     def n_sensors(self) -> int:
@@ -153,32 +172,71 @@ class WaypointMobility(MobilityModel):
     def sample_target(self, index: int) -> Location:
         """Next trip destination for sensor ``index``; uniform by default.
 
-        Subclasses override this to bias destinations (e.g. towards home
-        and work anchors in the Nokia substitute).
+        Kept for subclasses that only customize the scalar form —
+        :meth:`_assign_trips` falls back to a per-sensor loop over this
+        method when it is overridden without :meth:`sample_targets`.
         """
         return self._region.sample_location(self._rng)
 
-    def advance(self) -> None:
-        for i in range(self.n_sensors):
-            if self._pauses[i] > 0:
-                self._pauses[i] -= 1
-                if self._pauses[i] == 0:
-                    self._assign_trip(i)
-                continue
-            pos = self._positions[i]
-            target = self._targets[i]
-            delta = target - pos
-            dist = float(np.hypot(delta[0], delta[1]))
-            step = self._speeds[i]
-            if dist <= step:
-                self._positions[i] = target
-                self._pauses[i] = int(self._rng.integers(0, self._max_pause + 1))
-                if self._pauses[i] == 0:
-                    self._assign_trip(i)
-            else:
-                self._positions[i] = pos + delta / dist * step
+    def sample_targets(self, indices: np.ndarray) -> np.ndarray:
+        """Next trip destinations for ``indices`` as an ``(k, 2)`` array.
 
-    def _assign_trip(self, index: int) -> None:
-        target = self.sample_target(index)
-        self._targets[index] = (target.x, target.y)
-        self._speeds[index] = self._rng.uniform(self._min_speed, self._max_speed)
+        The batched counterpart of :meth:`sample_target` (uniform by
+        default, drawn as one x batch then one y batch); subclasses bias
+        destinations here (e.g. towards home/work anchors in the Nokia
+        substitute).
+        """
+        xs = self._rng.uniform(self._region.x_min, self._region.x_max, size=len(indices))
+        ys = self._rng.uniform(self._region.y_min, self._region.y_max, size=len(indices))
+        return np.column_stack([xs, ys])
+
+    def advance(self) -> None:
+        pauses = self._pauses
+        pausing = pauses > 0
+        pauses[pausing] -= 1
+
+        # Travellers move toward their targets; arrivals snap onto them.
+        moving = ~pausing
+        delta = self._targets - self._positions
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        arrived = moving & (dist <= self._speeds)
+        cruising = moving & ~arrived
+        if cruising.any():
+            # Same float grouping as the historical per-sensor step
+            # (``pos + delta / dist * step``), element for element.
+            step = (
+                delta[cruising]
+                / dist[cruising][:, None]
+                * self._speeds[cruising][:, None]
+            )
+            self._positions[cruising] += step
+        if arrived.any():
+            idx = np.flatnonzero(arrived)
+            self._positions[idx] = self._targets[idx]
+            pauses[idx] = self._rng.integers(0, self._max_pause + 1, size=len(idx))
+
+        # New trips: expired pauses plus arrivals that drew pause 0.
+        needs_trip = np.flatnonzero((pausing | arrived) & (pauses == 0))
+        if len(needs_trip):
+            self._assign_trips(needs_trip)
+
+    def _assign_trips(self, indices: np.ndarray) -> None:
+        """Draw targets then speeds for ``indices`` (one batch each).
+
+        A subclass that customized only the scalar :meth:`sample_target`
+        is honoured (:func:`repro.dispatch.batch_hook_trusted`): the
+        batched hook is used only when its defining class sits at or below
+        the scalar hook's in the MRO — this covers subclasses of
+        intermediate models like the Nokia synthesizer, not just direct
+        ``WaypointMobility`` children.
+        """
+        if not batch_hook_trusted(type(self), "sample_targets", ("sample_target",)):
+            targets = np.asarray(
+                [tuple(self.sample_target(int(i))) for i in indices], dtype=float
+            ).reshape(-1, 2)
+        else:
+            targets = self.sample_targets(indices)
+        self._targets[indices] = targets
+        self._speeds[indices] = self._rng.uniform(
+            self._min_speed, self._max_speed, size=len(indices)
+        )

@@ -10,6 +10,7 @@ what the paper's methodology requires for a fair algorithm comparison.
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
@@ -20,6 +21,67 @@ from ..spatial import Location, Region
 from .base import MobilityModel
 
 __all__ = ["MobilityTrace", "TraceMobility"]
+
+
+class _LazyLocationFrames(SequenceABC):
+    """Per-slot ``Location`` tuples materialized on demand from xy arrays.
+
+    Array-native producers (:meth:`MobilityModel.run_xy`) record stacked
+    ``(n, 2)`` frames; this sequence presents them through the historical
+    ``frames[t][i] -> Location`` interface, building (and caching) a
+    frame's tuple only when some legacy consumer actually indexes it.  The
+    replay hot path (:meth:`MobilityTrace.frame_xy` →
+    ``FleetState.set_positions``) reads the arrays directly and never
+    triggers materialization.  Lazy-to-lazy equality compares the xy
+    arrays; comparing against an eager tuple — or hashing — must
+    materialize every frame to stay consistent with the eager form's
+    tuple semantics, so treat ``hash(trace)`` / tuple comparisons of a
+    metro-scale lazy trace as O(n_slots × n_sensors) operations (nothing
+    in the slot path does either).
+    """
+
+    __slots__ = ("_xy", "_frames")
+
+    def __init__(self, xy_frames: Sequence[np.ndarray]) -> None:
+        self._xy = list(xy_frames)
+        self._frames: list[tuple[Location, ...] | None] = [None] * len(self._xy)
+
+    def xy(self, t: int) -> np.ndarray:
+        return self._xy[t]
+
+    def __len__(self) -> int:
+        return len(self._xy)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return tuple(self[t] for t in range(*item.indices(len(self))))
+        t = item.__index__()
+        if t < 0:
+            t += len(self)
+        if not (0 <= t < len(self)):
+            raise IndexError("trace frame index out of range")
+        frame = self._frames[t]
+        if frame is None:
+            frame = tuple(Location(float(x), float(y)) for x, y in self._xy[t])
+            self._frames[t] = frame
+        return frame
+
+    def _as_tuple(self) -> tuple:
+        return tuple(self[t] for t in range(len(self)))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _LazyLocationFrames):
+            if len(self) != len(other):
+                return False
+            return all(
+                np.array_equal(self._xy[t], other._xy[t]) for t in range(len(self))
+            )
+        if isinstance(other, tuple):
+            return self._as_tuple() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._as_tuple())
 
 
 @dataclass(frozen=True)
@@ -38,12 +100,15 @@ class MobilityTrace:
     )
 
     def __post_init__(self) -> None:
-        if not self.frames:
+        if not len(self.frames):
             raise ValueError("a trace needs at least one frame")
-        width = len(self.frames[0])
-        if width == 0:
+        if isinstance(self.frames, _LazyLocationFrames):
+            widths = [len(xy) for xy in self.frames._xy]
+        else:
+            widths = [len(frame) for frame in self.frames]
+        if widths[0] == 0:
             raise ValueError("a trace needs at least one sensor")
-        if any(len(frame) != width for frame in self.frames):
+        if any(w != widths[0] for w in widths):
             raise ValueError("all frames must have the same number of sensors")
 
     @property
@@ -52,22 +117,43 @@ class MobilityTrace:
 
     @property
     def n_sensors(self) -> int:
+        if isinstance(self.frames, _LazyLocationFrames):
+            return len(self.frames.xy(0))
         return len(self.frames[0])
 
     @classmethod
     def from_frames(cls, region: Region, frames: Sequence[Sequence[Location]]) -> "MobilityTrace":
         return cls(region, tuple(tuple(frame) for frame in frames))
 
+    @classmethod
+    def from_xy(cls, region: Region, xy_frames: Sequence[np.ndarray]) -> "MobilityTrace":
+        """Array-native constructor: per-slot ``(n, 2)`` position frames.
+
+        The trace adopts the arrays as its primary storage; ``Location``
+        frames exist only as a lazy view for legacy consumers (see
+        :class:`_LazyLocationFrames`), so building — and replaying — a
+        10^5-sensor trace allocates no per-sensor objects.
+        """
+        stacked = [np.ascontiguousarray(f, dtype=float) for f in xy_frames]
+        for f in stacked:
+            if f.ndim != 2 or (f.size and f.shape[1] != 2):
+                raise ValueError(f"xy frames must have shape (n, 2), got {f.shape}")
+        return cls(region, _LazyLocationFrames(stacked))
+
     def frame_xy(self, t: int) -> np.ndarray:
         """Frame ``t`` as an ``(n, 2)`` float array (built once, cached).
 
         The array-backed fleet replays traces through this accessor so the
         slot path never loops over :class:`Location` objects; repeated
-        replays of the same trace share the stacked frames.
+        replays of the same trace share the stacked frames.  Array-native
+        traces (:meth:`from_xy`) serve their frames directly.
         """
+        frames = self.frames
+        if isinstance(frames, _LazyLocationFrames):
+            return frames.xy(t)
         xy = self._xy_cache.get(t)
         if xy is None:
-            xy = np.asarray([(loc.x, loc.y) for loc in self.frames[t]], dtype=float)
+            xy = np.asarray([(loc.x, loc.y) for loc in frames[t]], dtype=float)
             self._xy_cache[t] = xy
         return xy
 
@@ -76,9 +162,13 @@ class MobilityTrace:
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
         """Write the trace as JSON (region + frames of [x, y] pairs)."""
+        if isinstance(self.frames, _LazyLocationFrames):
+            frames_payload = [self.frames.xy(t).tolist() for t in range(self.n_slots)]
+        else:
+            frames_payload = [[[loc.x, loc.y] for loc in frame] for frame in self.frames]
         payload = {
             "region": [self.region.x_min, self.region.y_min, self.region.x_max, self.region.y_max],
-            "frames": [[[loc.x, loc.y] for loc in frame] for frame in self.frames],
+            "frames": frames_payload,
         }
         Path(path).write_text(json.dumps(payload))
 
@@ -97,11 +187,13 @@ class MobilityTrace:
         """Average number of sensors inside ``subregion`` per slot.
 
         Used to validate the RNC substitute against the paper's reported
-        "~120 sensors in the working subregion on average".
+        "~120 sensors in the working subregion on average".  Vectorized
+        over the stacked frames (identical closed-rectangle comparisons to
+        the scalar ``contains`` walk).
         """
         total = 0
-        for frame in self.frames:
-            total += sum(1 for loc in frame if subregion.contains(loc))
+        for t in range(self.n_slots):
+            total += int(subregion.contains_many(self.frame_xy(t)).sum())
         return total / self.n_slots
 
 

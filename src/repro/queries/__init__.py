@@ -8,6 +8,7 @@ from .base import (
     SensorRoster,
     ValuationState,
     new_query_id,
+    resolve_relevant_mask,
 )
 from .event import EventDetectionQuery, EventSlotQuery, detection_confidence
 from .monitoring import ContinuousQuery, LocationMonitoringQuery, RegionMonitoringQuery
@@ -28,6 +29,7 @@ __all__ = [
     "SensorRoster",
     "BatchGainState",
     "new_query_id",
+    "resolve_relevant_mask",
     "PointQuery",
     "MultiSensorPointQuery",
     "reading_quality",

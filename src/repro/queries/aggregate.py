@@ -31,7 +31,9 @@ from ..spatial import (
     Region,
     Trajectory,
     TrajectoryCoverage,
+    as_xy,
 )
+from ..spatial.coverage import masks_for_xy
 from .base import BatchGainState, Query, QueryType, SensorRoster, ValuationState
 
 __all__ = ["AggregateOp", "SpatialAggregateQuery", "TrajectoryQuery", "sensor_quality"]
@@ -78,9 +80,11 @@ class _CoverageBatch(BatchGainState):
         self._mask_row = np.full(roster.n_sensors, -1, dtype=np.intp)
         rel_idx = np.flatnonzero(relevant)
         self._mask_row[rel_idx] = np.arange(len(rel_idx))
-        self._masks = query.coverage.masks_for(
-            [roster.snapshots[j].location for j in rel_idx]
-        )
+        # Masks come straight from the roster's shared coordinate block —
+        # no Location objects, no snapshot materialization (built-in
+        # coverage functions take (n, 2) arrays natively; legacy overrides
+        # still get Location sequences via masks_for_xy).
+        self._masks = masks_for_xy(query.coverage, roster.xy[rel_idx])
         self._quality = (1.0 - roster.gamma) * roster.trust
 
     def gain_many(self, indices: np.ndarray) -> np.ndarray:
@@ -207,6 +211,17 @@ class SpatialAggregateQuery(Query):
         dy = max(self.region.y_min - loc.y, 0.0, loc.y - self.region.y_max)
         return (dx * dx + dy * dy) <= self.sensing_range**2
 
+    def relevant_mask(
+        self,
+        xy: np.ndarray,
+        gamma: np.ndarray | None = None,
+        trust: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`relevant` (purely geometric; ``gamma``/``trust``
+        are ignored).  Element-for-element the same clamped-axis arithmetic
+        as the scalar predicate, so the two can never disagree."""
+        return self.region.exterior_distance_sq(as_xy(xy)) <= self.sensing_range**2
+
     def new_state(self) -> ValuationState:
         return _CoverageState(self)
 
@@ -246,8 +261,24 @@ class TrajectoryQuery(SpatialAggregateQuery):
         return QueryType.TRAJECTORY
 
     def relevant(self, snapshot: SensorSnapshot) -> bool:
-        """Useful iff the sensing disk reaches the trajectory corridor."""
-        return self.trajectory.distance_to(snapshot.location) <= 2 * self.sensing_range
+        """Useful iff the sensing disk reaches the trajectory corridor.
+
+        Routed through :meth:`relevant_mask` with ``n = 1`` so the scalar
+        and batch predicates share one distance computation and cannot
+        diverge (``np.hypot`` everywhere; the historical ``math.hypot``
+        scalar could differ in the final ulp).
+        """
+        loc = snapshot.location
+        return bool(self.relevant_mask(np.asarray([[loc.x, loc.y]]))[0])
+
+    def relevant_mask(
+        self,
+        xy: np.ndarray,
+        gamma: np.ndarray | None = None,
+        trust: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized corridor-reach test (purely geometric)."""
+        return self.trajectory.distance_to_many(as_xy(xy)) <= 2 * self.sensing_range
 
     def nearest_path_distance(self, location: Location) -> float:
         return self.trajectory.distance_to(location)

@@ -24,6 +24,30 @@ every call, so no synchronization hooks are needed.  The default batch
 state simply loops over :meth:`ValuationState.gain`, which keeps arbitrary
 user-provided valuation functions correct; the built-in query types
 override it with closed-form vectorizations.
+
+Alongside the gains sits the **batch-relevance protocol**
+(:meth:`Query.relevant_mask`): one vectorized pass mapping a slot's stacked
+announcement arrays — ``(n, 2)`` coordinates plus the matching inaccuracy
+and trust columns — to the boolean ``Q_{l_s}`` prefilter row the scalar
+:meth:`Query.relevant` answers per sensor.  Allocators screen every
+announced sensor through the mask, so region-heavy slots never materialize
+candidate snapshots just to ask whether a sensor could serve a query.
+
+**Scalar fallback contract:** the base :meth:`Query.relevant_mask` returns
+``None``, meaning "no vectorized geometry is available — fall back to the
+per-snapshot :meth:`Query.relevant` scan".  A custom query type therefore
+only ever needs the scalar predicate to be correct — including a subclass
+of a built-in type that overrides *only* ``relevant``: allocators resolve
+masks through :func:`resolve_relevant_mask`, which refuses an inherited
+mask whenever the scalar predicate was redefined below it in the MRO.
+Every built-in type overrides the mask alongside the scalar predicate,
+and the purely geometric types (aggregate, trajectory)
+route their *scalar* predicate through the mask with ``n = 1`` so the two
+forms cannot disagree even in the final ulp.  The quality-gated types
+(point, multi-point, event) keep their historical ``math.hypot`` scalar
+path; their masks use ``np.hypot``, which can differ in the last ulp on
+engineered boundary instances (the same caveat every batch-gain state
+documents).
 """
 
 from __future__ import annotations
@@ -35,6 +59,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..dispatch import batch_hook_trusted
 from ..sensors import SensorSnapshot
 from ..sensors.state import as_announcement_sequence
 
@@ -45,7 +70,38 @@ __all__ = [
     "SensorRoster",
     "BatchGainState",
     "new_query_id",
+    "resolve_relevant_mask",
 ]
+
+
+#: Methods whose override invalidates an inherited ``relevant_mask``: the
+#: scalar predicate itself plus the hooks the built-in predicates delegate
+#: to (``PointQuery.relevant`` → ``value_single`` → ``quality``;
+#: multi-point/event ``relevant`` → ``quality``).
+_RELEVANCE_HOOKS = ("relevant", "value_single", "quality")
+
+
+def resolve_relevant_mask(
+    query: "Query",
+    xy: np.ndarray,
+    gamma: np.ndarray | None = None,
+    trust: np.ndarray | None = None,
+) -> np.ndarray | None:
+    """``query.relevant_mask(...)``, honouring scalar-only overrides.
+
+    The consistency guard of the batch-relevance protocol
+    (:func:`repro.dispatch.batch_hook_trusted`): a subclass that overrides
+    the scalar :meth:`Query.relevant` — or one of the quality hooks the
+    built-in predicates delegate to (:data:`_RELEVANCE_HOOKS`) — *without*
+    overriding :meth:`Query.relevant_mask` would otherwise be screened
+    through the inherited (now stale) mask of its base class.  When the
+    mask cannot be trusted this returns ``None`` and the caller takes the
+    per-snapshot scalar scan, exactly as for query types with no
+    vectorized geometry at all.
+    """
+    if not batch_hook_trusted(type(query), "relevant_mask", _RELEVANCE_HOOKS):
+        return None
+    return query.relevant_mask(xy, gamma, trust)
 
 _query_counter = itertools.count()
 
@@ -127,12 +183,19 @@ class SensorRoster:
         self.relevance_rows: dict[str, np.ndarray] = {}
 
     def relevance_row(self, query: "Query") -> np.ndarray:
-        """This query's boolean relevance over the roster (cached)."""
+        """This query's boolean relevance over the roster (cached).
+
+        Prefers the query's vectorized :meth:`Query.relevant_mask` over the
+        roster's shared arrays; falls back to the scalar per-snapshot scan
+        when the query declares no vectorized geometry.
+        """
         row = self.relevance_rows.get(query.query_id)
         if row is None:
-            row = np.fromiter(
-                (query.relevant(s) for s in self.snapshots), bool, self.n_sensors
-            )
+            row = resolve_relevant_mask(query, self.xy, self.gamma, self.trust)
+            if row is None:
+                row = np.fromiter(
+                    (query.relevant(s) for s in self.snapshots), bool, self.n_sensors
+                )
             self.relevance_rows[query.query_id] = row
         return row
 
@@ -223,6 +286,31 @@ class Query(abc.ABC):
     @abc.abstractmethod
     def relevant(self, snapshot: SensorSnapshot) -> bool:
         """Whether the sensor could contribute any value to this query."""
+
+    def relevant_mask(
+        self,
+        xy: np.ndarray,
+        gamma: np.ndarray | None = None,
+        trust: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Vectorized ``Q_{l_s}`` prefilter over stacked announcements.
+
+        Args:
+            xy: ``(n, 2)`` announced coordinates (column ``j`` is sensor
+                ``j`` of the caller's roster/kernel).
+            gamma: matching per-sensor inaccuracy column.  Purely geometric
+                query types ignore it; quality-gated types require it.
+            trust: matching per-sensor trust column (same contract).
+
+        Returns:
+            A boolean ``(n,)`` array where entry ``j`` answers
+            :meth:`relevant` for sensor ``j``, or ``None`` — the **scalar
+            fallback contract**: this query declares no vectorized
+            geometry and the caller must fall back to the per-snapshot
+            :meth:`relevant` scan.  The base class always returns ``None``
+            so user-defined query types stay correct unmodified.
+        """
+        return None
 
     def new_state(self) -> ValuationState:
         """Fresh incremental-valuation state (see :class:`ValuationState`)."""

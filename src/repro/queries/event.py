@@ -30,7 +30,7 @@ from ..sensors import SensorSnapshot
 from ..spatial import Location
 from .base import BatchGainState, Query, QueryType, SensorRoster, ValuationState, new_query_id
 from .monitoring import ContinuousQuery
-from .point import _quality_row, reading_quality
+from .point import _quality_gated_mask, _quality_row, reading_quality
 
 __all__ = ["EventDetectionQuery", "EventSlotQuery", "detection_confidence"]
 
@@ -153,6 +153,15 @@ class EventSlotQuery(Query):
 
     def relevant(self, snapshot: SensorSnapshot) -> bool:
         return self.quality(snapshot) > 0.0
+
+    def relevant_mask(
+        self,
+        xy: np.ndarray,
+        gamma: np.ndarray | None = None,
+        trust: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`relevant`: thresholded quality row ``> 0``."""
+        return _quality_gated_mask(self, xy, gamma, trust)
 
     def new_state(self) -> ValuationState:
         return _EventState(self)

@@ -29,9 +29,10 @@ from ..phenomena import (
 )
 from ..phenomena.sampling_times import window_series
 from ..sensors import SensorSnapshot
-from ..spatial import Location, Region
+from ..spatial import Location, Region, as_xy
 from .aggregate import sensor_quality
 from .base import new_query_id
+from .point import _quality_gated_mask
 
 __all__ = ["ContinuousQuery", "LocationMonitoringQuery", "RegionMonitoringQuery"]
 
@@ -136,6 +137,28 @@ class LocationMonitoringQuery(ContinuousQuery):
     def past_schedule(self, t: int) -> bool:
         """``t`` is greater than the final requested sampling time."""
         return not self.desired_times or t > self.desired_times[-1]
+
+    def relevant_mask(
+        self,
+        xy: np.ndarray,
+        gamma: np.ndarray | None = None,
+        trust: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized serve-eligibility prescreen for this monitored location.
+
+        Continuous queries are never allocated sensors directly — the
+        controllers derive point queries that carry their own masks
+        through the allocators — so *no built-in path calls this*.  It
+        completes the batch-relevance protocol for API consumers
+        (dashboards, feasibility checks) that ask "which announced sensors
+        could ever serve a sample for me": the derived point queries
+        inherit this query's ``theta_min``/``dmax``, and the mask is
+        exactly their shared quality gate (pinned against
+        ``PointQuery.relevant`` by the geometry parity suite).  Requires
+        the quality columns (eq. 4 gates on inaccuracy and trust, not just
+        distance).
+        """
+        return _quality_gated_mask(self, xy, gamma, trust)
 
     # ------------------------------------------------------------------
     # valuation (eqs. 16, 17)
@@ -247,6 +270,21 @@ class RegionMonitoringQuery(ContinuousQuery):
         self.used_quality_sum = 0.0
         self.slot_values: list[float] = []
         self.slot_planned_values: list[float] = []
+
+    def relevant_mask(
+        self,
+        xy: np.ndarray,
+        gamma: np.ndarray | None = None,
+        trust: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized in-region test for Algorithm 3's sensor scans.
+
+        A sensor contributes variance reduction (and shared-sensor value)
+        only from inside the monitored region; the controllers use this
+        mask to replace their per-snapshot ``region.contains`` loops.
+        Purely geometric — ``gamma``/``trust`` are ignored.
+        """
+        return self.region.contains_many(as_xy(xy))
 
     # ------------------------------------------------------------------
     # valuation (eq. 7)

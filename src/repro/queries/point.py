@@ -23,7 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from ..sensors import SensorSnapshot
-from ..spatial import Location
+from ..spatial import Location, as_xy
 from .base import BatchGainState, Query, QueryType, SensorRoster, ValuationState
 
 __all__ = ["reading_quality", "PointQuery", "MultiSensorPointQuery"]
@@ -39,19 +39,59 @@ def reading_quality(snapshot: SensorSnapshot, location: Location, dmax: float) -
     return (1.0 - snapshot.inaccuracy) * (1.0 - distance / dmax) * snapshot.trust
 
 
-def _quality_row(location: Location, dmax: float, roster: SensorRoster) -> np.ndarray:
-    """Vectorized :func:`reading_quality` over a roster's candidates.
+def _quality_values(
+    location: Location,
+    dmax: float,
+    xy: np.ndarray,
+    gamma: np.ndarray,
+    trust: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`reading_quality` over stacked announcement arrays.
 
     Same operation sequence as the scalar path (``(1-gamma) * (1-d/dmax)``
     then ``* tau``, zeroed beyond ``dmax``); distances go through
     ``np.hypot`` where the scalar path uses ``math.hypot``, which may
     differ in the final ulp (see :mod:`repro.core.valuation`).
     """
-    dist = np.hypot(roster.xy[:, 0] - location.x, roster.xy[:, 1] - location.y)
-    theta = (1.0 - roster.gamma) * (1.0 - dist / dmax)
-    theta *= roster.trust
+    dist = np.hypot(xy[:, 0] - location.x, xy[:, 1] - location.y)
+    theta = (1.0 - gamma) * (1.0 - dist / dmax)
+    theta *= trust
     theta[dist > dmax] = 0.0
     return theta
+
+
+def _quality_row(location: Location, dmax: float, roster: SensorRoster) -> np.ndarray:
+    """:func:`_quality_values` over a roster's candidates."""
+    return _quality_values(location, dmax, roster.xy, roster.gamma, roster.trust)
+
+
+def _require_quality_columns(
+    query, gamma: np.ndarray | None, trust: np.ndarray | None
+) -> None:
+    """Quality-gated relevance masks need the full announcement columns."""
+    if gamma is None or trust is None:
+        raise ValueError(
+            f"{type(query).__name__}.relevant_mask needs the gamma and trust "
+            "columns: its relevance is quality-gated, not purely geometric"
+        )
+
+
+def _quality_gated_mask(
+    query,
+    xy: np.ndarray,
+    gamma: np.ndarray | None,
+    trust: np.ndarray | None,
+) -> np.ndarray:
+    """Thresholded eq.-4 relevance row shared by the quality-gated types.
+
+    ``query`` needs ``location``, ``dmax`` and ``theta_min`` — the shape
+    multi-point, event-slot and location-monitoring relevance share:
+    quality zeroed below ``theta_min``, relevant where positive.
+    """
+    _require_quality_columns(query, gamma, trust)
+    theta = _quality_values(query.location, query.dmax, as_xy(xy), gamma, trust)
+    theta[theta < query.theta_min] = 0.0
+    return theta > 0.0
 
 
 def _single_value_row(query: "PointQuery", roster: SensorRoster) -> np.ndarray:
@@ -201,6 +241,24 @@ class PointQuery(Query):
     def relevant(self, snapshot: SensorSnapshot) -> bool:
         return self.value_single(snapshot) > 0.0
 
+    def relevant_mask(
+        self,
+        xy: np.ndarray,
+        gamma: np.ndarray | None = None,
+        trust: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`relevant`: the eq. (3) value row ``> 0``.
+
+        Matches :meth:`~repro.core.valuation.ValuationKernel.single_values`
+        positively/zero-wise (``np.hypot`` path; see the module note on the
+        last-ulp caveat versus the scalar ``math.hypot``).
+        """
+        _require_quality_columns(self, gamma, trust)
+        theta = _quality_values(self.location, self.dmax, as_xy(xy), gamma, trust)
+        values = self.budget * theta
+        values[theta < self.theta_min] = 0.0
+        return values > 0.0
+
     def new_state(self) -> ValuationState:
         return _BestSensorState(self)
 
@@ -252,6 +310,15 @@ class MultiSensorPointQuery(Query):
 
     def relevant(self, snapshot: SensorSnapshot) -> bool:
         return self.quality(snapshot) > 0.0
+
+    def relevant_mask(
+        self,
+        xy: np.ndarray,
+        gamma: np.ndarray | None = None,
+        trust: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`relevant`: thresholded quality row ``> 0``."""
+        return _quality_gated_mask(self, xy, gamma, trust)
 
     def new_state(self) -> ValuationState:
         return _TopKState(self)

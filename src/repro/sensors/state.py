@@ -56,7 +56,12 @@ from ..spatial import Location, Region
 from .costs import PrivacySensitivity
 from .sensor import SensorSnapshot
 
-__all__ = ["FleetState", "AnnouncementBatch", "as_announcement_sequence"]
+__all__ = [
+    "FleetState",
+    "AnnouncementBatch",
+    "SnapshotColumnView",
+    "as_announcement_sequence",
+]
 
 #: Distinguishes fleets (and therefore batch tokens) within one process.
 _state_uid = itertools.count()
@@ -65,17 +70,48 @@ _state_uid = itertools.count()
 def as_announcement_sequence(sensors):
     """Canonical indexable form of an announcement input.
 
-    Lists, tuples and batch-protocol producers (``kernel_arrays``/``token``,
-    i.e. :class:`AnnouncementBatch`) pass through untouched — copying a
-    batch would materialize every lazy snapshot; any other iterable is
-    copied to a list.  The single predicate all consumers (kernels,
-    allocators, rosters) share, so the batch duck-type cannot drift.
+    Lists, tuples, batch-protocol producers (``kernel_arrays``/``token``,
+    i.e. :class:`AnnouncementBatch`) and :class:`SnapshotColumnView` column
+    gathers pass through untouched — copying any of them would materialize
+    every lazy snapshot; any other iterable is copied to a list.  The
+    single predicate all consumers (kernels, allocators, rosters) share,
+    so the batch duck-type cannot drift.
     """
-    if isinstance(sensors, (list, tuple)) or getattr(
+    if isinstance(sensors, (list, tuple, SnapshotColumnView)) or getattr(
         sensors, "kernel_arrays", None
     ) is not None:
         return sensors
     return list(sensors)
+
+
+class SnapshotColumnView(Sequence):
+    """A lazy column gather over an announcement sequence.
+
+    ``view[j] is source[columns[j]]`` — nothing is materialized until a
+    consumer actually indexes, so a roster built over a candidate subset of
+    an :class:`AnnouncementBatch` stays snapshot-free end to end (the
+    allocator's pick loop touches only the winning columns).  The view is
+    frozen: it holds the source and the column index array by reference
+    and never copies either.
+    """
+
+    __slots__ = ("_source", "_columns")
+
+    def __init__(self, source, columns: np.ndarray) -> None:
+        self._source = source
+        self._columns = columns
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return [self._source[int(j)] for j in self._columns[item]]
+        return self._source[int(self._columns[item])]
+
+    def __iter__(self) -> Iterator[SensorSnapshot]:
+        for j in self._columns:
+            yield self._source[int(j)]
 
 
 class FleetState:

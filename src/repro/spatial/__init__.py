@@ -1,6 +1,6 @@
 """Spatial substrate: locations, regions, grids, trajectories, coverage."""
 
-from .geometry import Location, centroid, euclidean, manhattan, nearest, pairwise_distances
+from .geometry import Location, as_xy, centroid, euclidean, manhattan, nearest, pairwise_distances
 from .grid import Grid, GridIndex
 from .index import UniformGridIndex
 from .region import Region
@@ -9,6 +9,7 @@ from .coverage import AreaCoverage, CoverageFunction, TrajectoryCoverage, Weight
 
 __all__ = [
     "Location",
+    "as_xy",
     "Region",
     "Grid",
     "GridIndex",

@@ -15,6 +15,15 @@ All three flavours are provided:
 
 Coverage functions are classic monotone submodular set functions; the test
 suite checks submodularity by property-based testing.
+
+**Array-native geometry.**  Every entry point that takes sensor locations
+(``__call__``, :meth:`CoverageFunction.masks_for`, ``covered_cells``)
+accepts either a sequence of :class:`Location` objects or a stacked
+``(n, 2)`` float array (see :func:`repro.spatial.geometry.as_xy`).  Batch
+gain states hand the allocator's shared coordinate block straight to
+:meth:`masks_for`, so a slot with many region queries never materializes a
+single ``Location``; the two input forms go through identical broadcasted
+arithmetic and therefore produce bit-identical masks.
 """
 
 from __future__ import annotations
@@ -24,17 +33,47 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .geometry import Location
+from .geometry import Location, as_xy
 from .region import Region
 from .trajectory import Trajectory
 
-__all__ = ["CoverageFunction", "AreaCoverage", "WeightedCoverage", "TrajectoryCoverage"]
+__all__ = [
+    "CoverageFunction",
+    "AreaCoverage",
+    "WeightedCoverage",
+    "TrajectoryCoverage",
+    "masks_for_xy",
+]
+
+
+def masks_for_xy(fn: "CoverageFunction", xy: np.ndarray) -> np.ndarray:
+    """``fn.masks_for`` over stacked coordinates, tolerating legacy overrides.
+
+    The allocator hot path feeds ``(n, 2)`` arrays straight to
+    :meth:`CoverageFunction.masks_for`.  Every implementation in this
+    module (including the base fallback) accepts them natively; a user
+    subclass that overrode ``masks_for`` against the historical
+    ``Sequence[Location]`` signature gets ``Location`` objects built for
+    it here instead of crashing on array rows.  The two forms stack to the
+    same coordinates, so results are identical either way.
+    """
+    owner = next(c for c in type(fn).__mro__ if "masks_for" in c.__dict__)
+    if owner.__module__ == __name__:
+        return fn.masks_for(xy)
+    return fn.masks_for([Location(float(x), float(y)) for x, y in xy])
 
 
 class CoverageFunction:
-    """Interface: map a set of sensor locations to a coverage in ``[0, 1]``."""
+    """Interface: map a set of sensor locations to a coverage in ``[0, 1]``.
 
-    def __call__(self, sensor_locations: Sequence[Location]) -> float:
+    ``sensor_locations`` arguments accept ``Sequence[Location]`` or a
+    stacked ``(n, 2)`` array everywhere (the module docstring's array-native
+    contract).  Implementors must rasterize their domain into a fixed cell
+    order (:attr:`cell_count` cells) at construction time; all masks index
+    into that order.
+    """
+
+    def __call__(self, sensor_locations) -> float:
         raise NotImplementedError
 
     def mask_for(self, location: Location) -> np.ndarray:
@@ -45,17 +84,27 @@ class CoverageFunction:
         """
         raise NotImplementedError
 
-    def masks_for(self, locations: Sequence[Location]) -> np.ndarray:
+    def masks_for(self, locations) -> np.ndarray:
         """Stacked per-sensor masks, shape ``(len(locations), cell_count)``.
 
         Row ``i`` equals ``mask_for(locations[i])``; batch-gain states build
         this matrix once per allocator call and evaluate every candidate's
-        coverage delta with a single boolean pass.  The default loops over
-        :meth:`mask_for`; the built-in rasterized functions broadcast.
+        coverage delta with a single boolean pass.  ``locations`` may be a
+        ``(n, 2)`` coordinate array (the allocator hot path — no
+        ``Location`` objects are built) or a ``Location`` sequence.
+
+        **Scalar fallback contract:** the default implementation loops over
+        :meth:`mask_for`, so a custom function only ever needs the scalar
+        method to be correct; the built-in rasterized functions override
+        with a single broadcasted pass whose rows are bit-identical to the
+        scalar loop's.
         """
-        if not locations:
+        xy = as_xy(locations)
+        if len(xy) == 0:
             return np.zeros((0, self.cell_count), dtype=bool)
-        return np.stack([self.mask_for(location) for location in locations])
+        return np.stack(
+            [self.mask_for(Location(float(x), float(y))) for x, y in xy]
+        )
 
     @property
     def cell_count(self) -> int:
@@ -63,25 +112,26 @@ class CoverageFunction:
         raise NotImplementedError
 
 
-def _distance_matrix(cells: np.ndarray, sensor_locations: Sequence[Location]) -> np.ndarray:
-    """``(n_cells, n_sensors)`` distances, the shared mask-building pass."""
-    sensors = np.asarray([(s.x, s.y) for s in sensor_locations], dtype=float)
+def _distance_matrix(cells: np.ndarray, sensor_locations) -> np.ndarray:
+    """``(n_cells, n_sensors)`` distances, the shared mask-building pass.
+
+    ``sensor_locations`` is either a ``Location`` sequence or an ``(n, 2)``
+    array; both stack to the same coordinates, so the broadcasted distances
+    are bit-identical across input forms.
+    """
+    sensors = as_xy(sensor_locations)
     diff = cells[:, None, :] - sensors[None, :, :]
     return np.sqrt((diff**2).sum(axis=2))
 
 
-def _cover_matrix(
-    cells: np.ndarray, sensor_locations: Sequence[Location], sensing_range: float
-) -> np.ndarray:
+def _cover_matrix(cells: np.ndarray, sensor_locations, sensing_range: float) -> np.ndarray:
     """Boolean vector: cell i is within ``sensing_range`` of some sensor."""
     if len(sensor_locations) == 0 or cells.size == 0:
         return np.zeros(len(cells), dtype=bool)
     return (_distance_matrix(cells, sensor_locations) <= sensing_range).any(axis=1)
 
 
-def _mask_matrix(
-    cells: np.ndarray, sensor_locations: Sequence[Location], sensing_range: float
-) -> np.ndarray:
+def _mask_matrix(cells: np.ndarray, sensor_locations, sensing_range: float) -> np.ndarray:
     """``(n_sensors, n_cells)`` stacked masks — one :func:`_cover_matrix`
     column per sensor, computed in a single broadcasted pass."""
     if len(sensor_locations) == 0 or cells.size == 0:
@@ -113,10 +163,10 @@ class AreaCoverage(CoverageFunction):
     def n_cells(self) -> int:
         return len(self._cells)
 
-    def covered_cells(self, sensor_locations: Sequence[Location]) -> int:
+    def covered_cells(self, sensor_locations) -> int:
         return int(_cover_matrix(self._cells, sensor_locations, self.sensing_range).sum())
 
-    def __call__(self, sensor_locations: Sequence[Location]) -> float:
+    def __call__(self, sensor_locations) -> float:
         if self.n_cells == 0:
             return 0.0
         return self.covered_cells(sensor_locations) / self.n_cells
@@ -124,7 +174,7 @@ class AreaCoverage(CoverageFunction):
     def mask_for(self, location: Location) -> np.ndarray:
         return _cover_matrix(self._cells, [location], self.sensing_range)
 
-    def masks_for(self, locations: Sequence[Location]) -> np.ndarray:
+    def masks_for(self, locations) -> np.ndarray:
         return _mask_matrix(self._cells, locations, self.sensing_range)
 
     @property
@@ -157,7 +207,7 @@ class WeightedCoverage(CoverageFunction):
         if (self._weights < 0).any():
             raise ValueError("cell weights must be non-negative")
 
-    def __call__(self, sensor_locations: Sequence[Location]) -> float:
+    def __call__(self, sensor_locations) -> float:
         total = self._weights.sum()
         if total == 0:
             return 0.0
@@ -167,7 +217,7 @@ class WeightedCoverage(CoverageFunction):
     def mask_for(self, location: Location) -> np.ndarray:
         return _cover_matrix(self._cells, [location], self.sensing_range)
 
-    def masks_for(self, locations: Sequence[Location]) -> np.ndarray:
+    def masks_for(self, locations) -> np.ndarray:
         return _mask_matrix(self._cells, locations, self.sensing_range)
 
     @property
@@ -199,7 +249,7 @@ class TrajectoryCoverage(CoverageFunction):
     def n_points(self) -> int:
         return len(self._cells)
 
-    def __call__(self, sensor_locations: Sequence[Location]) -> float:
+    def __call__(self, sensor_locations) -> float:
         if self.n_points == 0:
             return 0.0
         covered = _cover_matrix(self._cells, sensor_locations, self.sensing_range)
@@ -208,7 +258,7 @@ class TrajectoryCoverage(CoverageFunction):
     def mask_for(self, location: Location) -> np.ndarray:
         return _cover_matrix(self._cells, [location], self.sensing_range)
 
-    def masks_for(self, locations: Sequence[Location]) -> np.ndarray:
+    def masks_for(self, locations) -> np.ndarray:
         return _mask_matrix(self._cells, locations, self.sensing_range)
 
     @property

@@ -17,12 +17,34 @@ import numpy as np
 
 __all__ = [
     "Location",
+    "as_xy",
     "euclidean",
     "manhattan",
     "pairwise_distances",
     "nearest",
     "centroid",
 ]
+
+
+def as_xy(points) -> np.ndarray:
+    """Canonical ``(n, 2)`` float coordinate array of a point collection.
+
+    The batch-geometry protocol (``Query.relevant_mask``,
+    ``CoverageFunction.masks_for``) runs on stacked coordinate arrays; this
+    is the single adapter every entry point shares.  An existing float
+    ``(n, 2)`` array is adopted **as-is** (no copy — callers must treat the
+    result as read-only); any other input is interpreted as a sequence of
+    :class:`Location`-likes (objects with ``.x``/``.y``) and stacked.  An
+    empty sequence yields a ``(0, 2)`` array so downstream broadcasting
+    never special-cases emptiness.
+    """
+    if isinstance(points, np.ndarray):
+        if points.ndim != 2 or (points.size and points.shape[1] != 2):
+            raise ValueError(f"coordinate array must have shape (n, 2), got {points.shape}")
+        if points.dtype != np.float64:
+            return points.astype(float)
+        return points
+    return np.asarray([(p.x, p.y) for p in points], dtype=float).reshape(-1, 2)
 
 
 @dataclass(frozen=True, order=True)

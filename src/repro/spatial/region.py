@@ -111,6 +111,34 @@ class Region:
             and self.y_min <= location.y <= self.y_max
         )
 
+    def contains_many(self, xy: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains` over an ``(n, 2)`` coordinate array.
+
+        Element ``i`` equals ``contains(Location(*xy[i]))`` exactly (the
+        closed-rectangle comparisons are identical float operations), so
+        scalar and batch membership tests can never disagree.
+        """
+        x, y = xy[:, 0], xy[:, 1]
+        return (
+            (self.x_min <= x)
+            & (x <= self.x_max)
+            & (self.y_min <= y)
+            & (y <= self.y_max)
+        )
+
+    def exterior_distance_sq(self, xy: np.ndarray) -> np.ndarray:
+        """Squared distance from each point to the rectangle (0 inside).
+
+        Replicates the scalar clamped-axis arithmetic
+        (``dx = max(x_min - x, 0, x - x_max)``, then ``dx^2 + dy^2``)
+        elementwise, so thresholding this array is bit-identical to the
+        scalar reach tests built on the same expression (e.g.
+        ``SpatialAggregateQuery.relevant``).
+        """
+        dx = np.maximum(np.maximum(self.x_min - xy[:, 0], 0.0), xy[:, 0] - self.x_max)
+        dy = np.maximum(np.maximum(self.y_min - xy[:, 1], 0.0), xy[:, 1] - self.y_max)
+        return dx * dx + dy * dy
+
     def contains_region(self, other: "Region") -> bool:
         return (
             self.x_min <= other.x_min

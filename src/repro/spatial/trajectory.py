@@ -15,7 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .geometry import Location
+from .geometry import Location, as_xy
 from .region import Region
 
 __all__ = ["Trajectory"]
@@ -73,6 +73,35 @@ class Trajectory:
             _point_segment_distance(point, self.waypoints[i], self.waypoints[i + 1])
             for i in range(len(self.waypoints) - 1)
         )
+
+    def distance_to_many(self, xy) -> np.ndarray:
+        """Vectorized :meth:`distance_to` over ``(n, 2)`` coordinates.
+
+        One broadcasted pass per polyline segment (waypoint counts are
+        small), replicating :func:`_point_segment_distance`'s projection
+        and clamping arithmetic per element.  Distances go through
+        ``np.hypot`` where the scalar path uses ``math.hypot``; the two can
+        differ in the final ulp, which is why consumers that need batch and
+        scalar decisions to agree (``TrajectoryQuery.relevant``) route the
+        scalar case through this method with ``n = 1``.
+        """
+        pts = as_xy(xy)
+        if len(pts) == 0:
+            return np.zeros(0)
+        px, py = pts[:, 0], pts[:, 1]
+        best: np.ndarray | None = None
+        for i in range(len(self.waypoints) - 1):
+            a, b = self.waypoints[i], self.waypoints[i + 1]
+            dx, dy = b.x - a.x, b.y - a.y
+            seg_len_sq = dx * dx + dy * dy
+            if seg_len_sq == 0.0:
+                d = np.hypot(px - a.x, py - a.y)
+            else:
+                t = ((px - a.x) * dx + (py - a.y) * dy) / seg_len_sq
+                np.clip(t, 0.0, 1.0, out=t)
+                d = np.hypot(px - (a.x + t * dx), py - (a.y + t * dy))
+            best = d if best is None else np.minimum(best, d)
+        return best
 
     def covers(self, point: Location, corridor: float) -> bool:
         """Whether ``point`` lies in the corridor of half-width ``corridor``."""

@@ -17,6 +17,7 @@ EXPECTED = {
     "adversarial_pricing.json",
     "dense_urban.json",
     "metro_scale.json",
+    "region_heavy.json",
     "rush_hour_burst.json",
     "sparse_rural.json",
     "trust_churn.json",
@@ -67,6 +68,47 @@ def test_metro_scale_spec_declares_the_batch_sharded_path():
     kernel = engine._kernel
     assert isinstance(kernel, ShardedKernel)
     assert isinstance(kernel.sensors, AnnouncementBatch)
+
+
+def test_region_heavy_spec_exercises_the_mask_path():
+    """The region-heavy spec declares 20k sensors under many large
+    aggregate queries with auto-sharding; a scaled-down build must route
+    those queries through the sharded kernel's candidate views and the
+    batch-relevance masks (no per-sensor scans), and run."""
+    import dataclasses
+
+    from repro.core import ShardedKernel
+    from repro.queries import SpatialAggregateQuery
+    from repro.sensors import AnnouncementBatch
+
+    spec = ScenarioSpec.from_json(SPEC_DIR / "region_heavy.json")
+    assert spec.n_sensors >= 20_000
+    assert spec.sharding == "auto"
+    assert any(s.kind == "aggregate" for s in spec.streams)
+    small = dataclasses.replace(spec, n_sensors=1500, n_slots=2)
+    engine = small.build()
+    summary = engine.run(2)
+    assert summary.n_slots == 2
+    assert summary.total_queries > 0
+    kernel = engine._kernel
+    assert isinstance(kernel, ShardedKernel)
+    assert isinstance(kernel.sensors, AnnouncementBatch)
+    # The kernel resolved aggregate candidate views (the memoized
+    # per-cell-range gathers behind the sharded mask path).
+    probe = SpatialAggregateQuery(
+        spec_region(small), budget=10.0, sensing_range=5.0, coverage_radius=2.5
+    )
+    view = kernel.candidate_view(probe)
+    assert view is not None and len(view) == 4
+
+
+def spec_region(spec):
+    """A sub-rectangle of the built world's working region for probing."""
+    from repro.datasets import build_rwm_scenario
+    from repro.spatial import Region
+
+    region = build_rwm_scenario(spec.seed, spec.n_sensors, spec.n_slots).working_region
+    return Region.centered_in(region, region.width / 2, region.height / 2)
 
 
 def test_compare_scenarios_sweeps_spec_files():

@@ -113,6 +113,138 @@ class TestWaypointMobility:
             WaypointMobility(REGION, 5, rng, min_speed=5.0, max_speed=1.0)
 
 
+class _RecordingRng:
+    """Wrap a Generator, logging every draw batch for the replay reference."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self.log: list[np.ndarray] = []
+
+    def uniform(self, low=0.0, high=1.0, size=None):
+        out = self._rng.uniform(low, high, size=size)
+        self.log.append(np.atleast_1d(np.array(out, copy=True)))
+        return out
+
+    def integers(self, low, high=None, size=None):
+        out = self._rng.integers(low, high, size=size)
+        self.log.append(np.atleast_1d(np.array(out, copy=True)))
+        return out
+
+
+class _DrawQueue:
+    def __init__(self, log):
+        self._log = list(log)
+
+    def next(self) -> np.ndarray:
+        return self._log.pop(0)
+
+    @property
+    def empty(self) -> bool:
+        return not self._log
+
+
+def _reference_advance(positions, targets, speeds, pauses, draws: _DrawQueue):
+    """Per-sensor replay of one WaypointMobility slot.
+
+    Consumes the *recorded* draw batches of the vectorized ``advance()`` in
+    its documented phase order (arrival pauses / target xs / target ys /
+    trip speeds) but applies every kinematic update in a scalar per-sensor
+    loop — so any vectorization bug (masking, broadcasting, float
+    grouping) diverges from this reference immediately.
+    """
+    n = len(positions)
+    was_pausing = pauses > 0
+    pauses[was_pausing] -= 1
+    arrived = []
+    for i in range(n):
+        if was_pausing[i]:
+            continue
+        delta = targets[i] - positions[i]
+        dist = np.hypot(delta[0], delta[1])
+        if dist <= speeds[i]:
+            positions[i] = targets[i]
+            arrived.append(i)
+        else:
+            positions[i] = positions[i] + delta / dist * speeds[i]
+    if arrived:
+        pause_draws = draws.next()
+        for k, i in enumerate(arrived):
+            pauses[i] = pause_draws[k]
+    arrived_set = set(arrived)
+    needs = [
+        i
+        for i in range(n)
+        if (was_pausing[i] or i in arrived_set) and pauses[i] == 0
+    ]
+    if needs:
+        xs, ys, speed_draws = draws.next(), draws.next(), draws.next()
+        for k, i in enumerate(needs):
+            targets[i] = (xs[k], ys[k])
+            speeds[i] = speed_draws[k]
+
+
+class TestWaypointReplayParity:
+    """The loop-free ``advance()`` is positionally identical to a scalar
+    per-sensor reference replaying the same recorded draws (the seeded
+    equivalent the vectorization documents)."""
+
+    def test_vectorized_advance_matches_scalar_replay(self):
+        model = WaypointMobility(
+            REGION, 40, np.random.default_rng(99), min_speed=1.0,
+            max_speed=6.0, max_pause=3,
+        )
+        positions = model._positions.copy()
+        targets = model._targets.copy()
+        speeds = model._speeds.copy()
+        pauses = model._pauses.copy()
+        recorder = _RecordingRng(model._rng)
+        model._rng = recorder
+        for step in range(80):
+            recorder.log.clear()
+            model.advance()
+            draws = _DrawQueue(recorder.log)
+            _reference_advance(positions, targets, speeds, pauses, draws)
+            assert draws.empty, f"unconsumed draw batches at step {step}"
+            np.testing.assert_array_equal(model._positions, positions)
+            np.testing.assert_array_equal(model._targets, targets)
+            np.testing.assert_array_equal(model._speeds, speeds)
+            np.testing.assert_array_equal(model._pauses, pauses)
+
+    def test_scalar_sample_target_override_is_honoured(self):
+        class PinnedTargets(WaypointMobility):
+            """Overrides only the scalar hook — the pre-batch extension API."""
+
+            def sample_target(self, index):
+                return Location(1.0 + index, 2.0)
+
+        model = PinnedTargets(REGION, 5, np.random.default_rng(0), max_pause=0)
+        assert model._targets[3, 0] == 4.0
+        assert set(model._targets[:, 1]) == {2.0}
+
+    def test_scalar_override_below_a_batched_subclass_is_honoured(self):
+        """The shim is MRO-based: a subclass of the (batched) Nokia
+        synthesizer that overrides only the scalar hook still wins."""
+
+        class Commuters(NokiaCampaignSynthesizer):
+            def sample_target(self, index):
+                return Location(3.0, 4.0)
+
+        model = Commuters(
+            np.random.default_rng(0), n_sensors=6, target_presence=2.0, max_pause=0
+        )
+        assert set(model._targets[:, 0]) == {3.0}
+        assert set(model._targets[:, 1]) == {4.0}
+
+    def test_zero_pause_reassigns_immediately(self):
+        model = WaypointMobility(REGION, 30, np.random.default_rng(5), max_pause=0)
+        for _ in range(50):
+            model.advance()
+            # With max_pause=0 nobody ever pauses: every sensor always has
+            # a live trip (positive speed).
+            assert (model._pauses == 0).all()
+            assert (model._speeds > 0).all()
+
+
 class TestMobilityTrace:
     def _trace(self) -> MobilityTrace:
         frames = [
@@ -168,6 +300,65 @@ class TestMobilityTrace:
         sub = Region(0, 0, 3, 3)
         # Sensor 0 is inside sub at every slot; sensor 1 never.
         assert trace.mean_presence(sub) == pytest.approx(1.0)
+
+
+class TestArrayNativeTrace:
+    """``MobilityTrace.from_xy``: lazy Location frames over stacked arrays."""
+
+    def _xy_frames(self):
+        rng = np.random.default_rng(3)
+        return [rng.uniform(0, 10, size=(4, 2)) for _ in range(3)]
+
+    def test_equals_eager_trace(self):
+        frames_xy = self._xy_frames()
+        lazy = MobilityTrace.from_xy(Region.from_origin(10, 10), frames_xy)
+        eager = MobilityTrace.from_frames(
+            Region.from_origin(10, 10),
+            [[Location(float(x), float(y)) for x, y in f] for f in frames_xy],
+        )
+        assert lazy.n_slots == 3 and lazy.n_sensors == 4
+        assert lazy == eager
+        assert eager == lazy
+
+    def test_frame_xy_serves_arrays_without_materializing(self):
+        frames_xy = self._xy_frames()
+        lazy = MobilityTrace.from_xy(Region.from_origin(10, 10), frames_xy)
+        for t in range(3):
+            np.testing.assert_array_equal(lazy.frame_xy(t), frames_xy[t])
+        # No Location frame was built by the array accessors.
+        assert lazy.frames._frames == [None, None, None]
+        # Indexing materializes (and caches) the requested frame only.
+        frame = lazy.frames[1]
+        assert frame[2] == Location(*map(float, frames_xy[1][2]))
+        assert lazy.frames._frames[0] is None
+
+    def test_replay_save_load_roundtrip(self, tmp_path):
+        frames_xy = self._xy_frames()
+        lazy = MobilityTrace.from_xy(Region.from_origin(10, 10), frames_xy)
+        replay = TraceMobility(lazy)
+        np.testing.assert_array_equal(replay.locations_xy(), frames_xy[0])
+        replay.advance()
+        assert replay.locations()[0] == Location(*map(float, frames_xy[1][0]))
+        path = tmp_path / "lazy-trace.json"
+        lazy.save(path)
+        loaded = MobilityTrace.load(path)
+        assert loaded == lazy
+
+    def test_mean_presence_matches_scalar_walk(self):
+        frames_xy = self._xy_frames()
+        lazy = MobilityTrace.from_xy(Region.from_origin(10, 10), frames_xy)
+        sub = Region(0, 0, 5, 5)
+        expected = sum(
+            sum(1 for loc in frame if sub.contains(loc)) for frame in lazy.frames
+        ) / lazy.n_slots
+        assert lazy.mean_presence(sub) == expected
+
+    def test_validation(self):
+        region = Region.from_origin(10, 10)
+        with pytest.raises(ValueError):
+            MobilityTrace.from_xy(region, [np.zeros((2, 3))])
+        with pytest.raises(ValueError):
+            MobilityTrace.from_xy(region, [np.zeros((2, 2)), np.zeros((3, 2))])
 
 
 class TestStationary:
