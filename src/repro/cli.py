@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override the spec's spatial sharding: 'off', "
                                "'auto', or a shard cell size (allocations are "
                                "bit-identical either way)")
+    scenario.add_argument("--fused", default=None, metavar="MODE",
+                          help="override the spec's fused gain-block pipeline: "
+                               "'off' or 'auto' (allocations are bit-identical "
+                               "either way)")
     scenario.add_argument("--out", default=None,
                           help="write per-spec summary JSON files here")
 
@@ -127,6 +131,26 @@ def _parse_sharding(value: str | None):
         raise SystemExit(2)
 
 
+def _parse_fused(value: str | None):
+    """CLI fused override: 'off' -> per-row batch path, 'on'/'auto' -> the
+    fused block pipeline.  The resulting value goes through the shared
+    ``normalize_fused`` validation."""
+    if value is None:
+        return None
+    from .core.greedy import normalize_fused
+
+    lowered = value.lower()
+    try:
+        if lowered in ("off", "none", "false"):
+            return normalize_fused(False)
+        if lowered in ("on", "true", "auto"):
+            return normalize_fused("auto")
+        raise ValueError(value)
+    except ValueError:
+        print(f"invalid --fused value {value!r}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _run_scenario(args: argparse.Namespace) -> int:
     from .datasets import ScenarioSpec
 
@@ -142,11 +166,14 @@ def _run_scenario(args: argparse.Namespace) -> int:
     from .core import ReproError
 
     sharding_override = _parse_sharding(args.sharding)
+    fused_override = _parse_fused(args.fused)
     for path in args.spec:
         try:
             spec = ScenarioSpec.from_json(path)
             if args.sharding is not None:
                 spec = dataclasses.replace(spec, sharding=sharding_override)
+            if args.fused is not None:
+                spec = dataclasses.replace(spec, fused=fused_override)
         except (OSError, ValueError, TypeError) as exc:
             print(f"error loading {path}: {exc}", file=sys.stderr)
             return 2

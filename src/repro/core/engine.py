@@ -56,6 +56,7 @@ from ..sensors import SensorFleet, SensorSnapshot
 from .allocation import AllocationResult, Allocator
 from .metrics import SimulationSummary, SlotRecord
 from .monitoring import LocationMonitoringController, RegionMonitoringController
+from .greedy import normalize_fused
 from .sharding import ShardedKernel, normalize_sharding
 from .valuation import ValuationKernel
 
@@ -611,6 +612,13 @@ class SlotEngine:
             side.  Sharded allocations are bit-identical to dense ones;
             work becomes proportional to sensors-near-queries instead of
             fleet size.
+        fused: override the fused gain-block pipeline of every allocator
+            this engine drives (see
+            :func:`~repro.core.greedy.normalize_fused`): ``None`` (default)
+            leaves each allocator's own setting untouched, ``True``/
+            ``"auto"`` enables type-blocked fused refreshes, ``False``
+            forces the per-row batch path.  Fused allocations are
+            bit-identical either way; the knob exists for benchmarking.
     """
 
     def __init__(
@@ -623,6 +631,7 @@ class SlotEngine:
         verify_each_slot: bool = False,
         use_kernel: bool = True,
         sharding: float | bool | str | None = None,
+        fused: bool | str | None = None,
     ) -> None:
         if not streams:
             raise ValueError("SlotEngine needs at least one query stream")
@@ -644,6 +653,12 @@ class SlotEngine:
         self.shard_cell_size: float | None = (
             mode if isinstance(mode, float) else None
         )
+        self.fused = None if fused is None else normalize_fused(fused)
+        if self.fused is not None:
+            for attr in ("allocator", "stage1_allocator", "stage2_allocator"):
+                allocator = getattr(self.allocation, attr, None)
+                if allocator is not None and hasattr(allocator, "fused"):
+                    allocator.fused = self.fused
         self._kernel: ValuationKernel | None = None
 
     def stream(self, kind: str) -> QueryStream:
@@ -709,7 +724,9 @@ class SlotEngine:
 # ----------------------------------------------------------------------
 # engine factories for the four canonical experiment families
 # ----------------------------------------------------------------------
-def one_shot_engine(fleet, workload, allocator, rng, *, sharding=None) -> SlotEngine:
+def one_shot_engine(
+    fleet, workload, allocator, rng, *, sharding=None, fused=None
+) -> SlotEngine:
     """Figures 2-7: a stream of one-shot (point or aggregate) queries."""
     return SlotEngine(
         fleet,
@@ -717,11 +734,12 @@ def one_shot_engine(fleet, workload, allocator, rng, *, sharding=None) -> SlotEn
         JointSlotAllocation(allocator),
         rng,
         sharding=sharding,
+        fused=fused,
     )
 
 
 def location_monitoring_engine(
-    fleet, workload, point_allocator, rng, controller=None, *, sharding=None
+    fleet, workload, point_allocator, rng, controller=None, *, sharding=None, fused=None
 ) -> SlotEngine:
     """Figure 8: continuous location-monitoring queries."""
     return SlotEngine(
@@ -730,11 +748,12 @@ def location_monitoring_engine(
         JointSlotAllocation(point_allocator),
         rng,
         sharding=sharding,
+        fused=fused,
     )
 
 
 def region_monitoring_engine(
-    fleet, workload, point_allocator, rng, controller=None, *, sharding=None
+    fleet, workload, point_allocator, rng, controller=None, *, sharding=None, fused=None
 ) -> SlotEngine:
     """Figure 9: continuous region-monitoring queries over a GP field."""
     return SlotEngine(
@@ -743,11 +762,12 @@ def region_monitoring_engine(
         JointSlotAllocation(point_allocator),
         rng,
         sharding=sharding,
+        fused=fused,
     )
 
 
 def event_detection_engine(
-    fleet, workload, point_allocator, rng, *, phenomenon=None, sharding=None
+    fleet, workload, point_allocator, rng, *, phenomenon=None, sharding=None, fused=None
 ) -> SlotEngine:
     """Event-detection extension: redundant-sampling slot queries."""
     return SlotEngine(
@@ -756,6 +776,7 @@ def event_detection_engine(
         JointSlotAllocation(point_allocator),
         rng,
         sharding=sharding,
+        fused=fused,
     )
 
 
@@ -774,6 +795,7 @@ def mix_engine(
     stage1_allocator: Allocator | None = None,
     stage2_allocator: Allocator | None = None,
     sharding=None,
+    fused=None,
 ) -> SlotEngine:
     """Figure 10: point + aggregate + monitoring streams in one slot cycle.
 
@@ -831,5 +853,11 @@ def mix_engine(
     else:
         allocation = JointSlotAllocation(joint if joint is not None else GreedyAllocator())
     return SlotEngine(
-        fleet, streams, allocation, rng, verify_each_slot=True, sharding=sharding
+        fleet,
+        streams,
+        allocation,
+        rng,
+        verify_each_slot=True,
+        sharding=sharding,
+        fused=fused,
     )

@@ -22,6 +22,18 @@ Two implementations share the selection/settlement semantics:
   a sequential (``cumsum``) pass in query order, which reproduces the
   scalar path's Python ``sum`` addition order bit-for-bit, so both paths
   select identical sensors and settle identical cost shares;
+* the **fused path** (``fused="auto"``, the default, layered on the batch
+  path) additionally groups same-type batch states into
+  :class:`~repro.queries.GainBlock` stacks.  Each round's dirty
+  (query, sensor) pairs are then evaluated with one ``gain_many_block``
+  call per query *type* instead of one ``gain_many`` call per dirty query
+  — the win grows with the number of same-type queries per slot (region-
+  heavy workloads with dozens of aggregate queries).  Blocks are built
+  through the fallback lattice (:func:`~repro.queries.gain_block_trusted`,
+  :func:`~repro.queries.resolve_batch_state`), so subclasses that override
+  only scalar or only row-level hooks are routed to the generic evaluators
+  that honour their overrides, and every block implementation is
+  bit-identical to its per-row ``gain_many``;
 * the **scalar path** (``vectorized=False``) is the historical per-pair
   ``ValuationState.gain`` loop, kept as the executable reference the
   parity suite checks the batch path against.
@@ -40,15 +52,37 @@ from typing import Sequence
 
 import numpy as np
 
-from ..queries import PointQuery, Query, ValuationState
-from ..queries.base import resolve_relevant_mask
+from ..queries import PointQuery, Query, SpatialAggregateQuery, ValuationState
+from ..queries.base import (
+    GainBlock,
+    gain_block_trusted,
+    resolve_batch_state,
+    resolve_relevant_mask,
+)
 from ..sensors import SensorSnapshot
 from ..sensors.state import as_announcement_sequence
 from .allocation import AllocationResult, check_distinct
 from .payments import proportionate_shares
 from .valuation import ValuationKernel
 
-__all__ = ["GreedyAllocator", "relevant_queries_by_sensor"]
+__all__ = ["GreedyAllocator", "normalize_fused", "relevant_queries_by_sensor"]
+
+
+def normalize_fused(setting: bool | str | None) -> bool | str:
+    """Canonicalize a ``fused=`` knob value.
+
+    ``None``, ``True`` and ``"auto"`` all mean the default adaptive fused
+    pipeline (blocks are built, multi-row refreshes fuse, single-row
+    refreshes keep the cheaper per-row call); ``False`` disables block
+    construction entirely so every refresh goes through per-row
+    ``gain_many``.  Both settings produce bit-identical allocations — the
+    knob exists for benchmarking and for bisecting regressions.
+    """
+    if setting is None or setting is True or setting == "auto":
+        return "auto"
+    if setting is False:
+        return False
+    raise ValueError(f"unrecognized fused setting: {setting!r}")
 
 
 def relevant_queries_by_sensor(
@@ -99,19 +133,29 @@ class GreedyAllocator:
         vectorized: drive the batch-gain protocol (default).  The scalar
             per-pair loop remains available as the parity reference and for
             query types whose states deliberately bypass batching.
+        fused: ``"auto"`` (default; also ``None``/``True``) stacks same-type
+            batch states into :class:`~repro.queries.GainBlock` groups and
+            refreshes each round's dirty pairs with one fused pass per
+            query type; ``False`` keeps the per-row ``gain_many`` loop.
+            Allocations are bit-identical either way.
     """
 
     name = "Greedy"
     supports_kernel = True
 
     def __init__(
-        self, min_gain: float = 1e-9, verify: bool = True, vectorized: bool = True
+        self,
+        min_gain: float = 1e-9,
+        verify: bool = True,
+        vectorized: bool = True,
+        fused: bool | str | None = "auto",
     ) -> None:
         if min_gain < 0:
             raise ValueError("min_gain must be non-negative")
         self.min_gain = min_gain
         self.verify = verify
         self.vectorized = vectorized
+        self.fused = normalize_fused(fused)
 
     def allocate(
         self,
@@ -182,6 +226,16 @@ class GreedyAllocator:
             if type(query) is not PointQuery:
                 view = view_of(query) if view_of is not None else None
                 if view is None:
+                    if type(query) is SpatialAggregateQuery:
+                        # Same clamped-axis distances as `relevant_mask`,
+                        # but cached on the slot's shared world raster so
+                        # overlapping aggregate queries over one region
+                        # pay the containment pass once per slot.
+                        relevance_all[i] = (
+                            kernel.raster.exterior_distance_sq(query.region)
+                            <= query.sensing_range**2
+                        )
+                        continue
                     mask = resolve_relevant_mask(
                         query, kernel.sensor_xy, kernel.gamma, kernel.trust
                     )
@@ -240,7 +294,10 @@ class GreedyAllocator:
                 roster.relevance_rows[query.query_id] = relevance[i]
 
         states: dict[str, ValuationState] = {q.query_id: q.new_state() for q in queries}
-        batches = [states[q.query_id].batch(roster) for q in queries]
+        batches = [resolve_batch_state(states[q.query_id], roster) for q in queries]
+        fused_groups = (
+            self._build_blocks(batches) if self.fused is not False else None
+        )
 
         n = cols.size
         gain_matrix = np.zeros((n_queries, n), dtype=float)
@@ -249,14 +306,19 @@ class GreedyAllocator:
         # Initial fill.  Point-query rows come straight from the kernel
         # block (empty state: the marginal gain IS the single value), one
         # vectorized pass for the whole block; other query types fill via
-        # their batch states.
+        # their batch states (fused per type when blocks are enabled).
         if plain_idx:
             rows = np.asarray(plain_idx, dtype=np.intp)
             keep = relevance[rows] & (block > self.min_gain)
             gain_matrix[rows] = np.where(keep, block, 0.0)
-        for i, query in enumerate(queries):
-            if type(query) is not PointQuery and relevance[i].any():
-                self._refresh_row(gain_matrix, relevance, batches, i, all_indices)
+        nonpoint_rows = [
+            i
+            for i, query in enumerate(queries)
+            if type(query) is not PointQuery and relevance[i].any()
+        ]
+        self._refresh_rows(
+            gain_matrix, relevance, batches, nonpoint_rows, all_indices, fused_groups
+        )
         net = np.empty(n, dtype=float)
         self._recompute_net(gain_matrix, costs, all_indices, net)
 
@@ -292,13 +354,87 @@ class GreedyAllocator:
             live = np.flatnonzero(alive)
             if live.size == 0:
                 break
-            for i in benefiting:
-                self._refresh_row(gain_matrix, relevance, batches, i, live)
+            self._refresh_rows(
+                gain_matrix, relevance, batches, benefiting, live, fused_groups
+            )
             dirty = relevance[benefiting].any(axis=0)
             dirty &= alive
             dirty_cols = np.flatnonzero(dirty)
             if dirty_cols.size:
                 self._recompute_net(gain_matrix, costs, dirty_cols, net)
+
+    @staticmethod
+    def _build_blocks(
+        batches: list,
+    ) -> tuple[np.ndarray, np.ndarray, list[GainBlock]]:
+        """Group the slot's batch states into per-type gain blocks.
+
+        Returns ``(row_block, member_pos, blocks)``: for query row ``i``,
+        ``blocks[row_block[i]]`` is its fused block and ``member_pos[i]``
+        its member index within it.  Grouping is by *exact* batch-state
+        type; a type's native ``block`` hook is used only when the fallback
+        lattice trusts it (:func:`~repro.queries.gain_block_trusted`), else
+        the generic row-looping :class:`~repro.queries.GainBlock` preserves
+        any ``gain_many`` override.  Member order follows query order, so
+        pairs sorted by query row arrive member-grouped as the block
+        protocol requires.
+        """
+        groups: dict[type, list[int]] = {}
+        for i, state in enumerate(batches):
+            groups.setdefault(type(state), []).append(i)
+        row_block = np.empty(len(batches), dtype=np.intp)
+        member_pos = np.empty(len(batches), dtype=np.intp)
+        blocks: list[GainBlock] = []
+        for cls, rows in groups.items():
+            members = [batches[i] for i in rows]
+            block = (
+                cls.block(members) if gain_block_trusted(cls) else GainBlock(members)
+            )
+            for p, i in enumerate(rows):
+                row_block[i] = len(blocks)
+                member_pos[i] = p
+            blocks.append(block)
+        return row_block, member_pos, blocks
+
+    def _refresh_rows(
+        self,
+        gain_matrix: np.ndarray,
+        relevance: np.ndarray,
+        batches: list,
+        rows: Sequence[int] | np.ndarray,
+        columns: np.ndarray,
+        fused_groups: tuple[np.ndarray, np.ndarray, list[GainBlock]] | None,
+    ) -> None:
+        """Re-evaluate ``rows``' gains against ``columns``.
+
+        With fused groups, all dirty relevant (query, sensor) pairs are
+        gathered at once and dispatched as one ``gain_many_block`` call per
+        touched block; ``np.nonzero`` emits pairs in row-major order and
+        block members follow query order, so each block's pairs arrive
+        member-grouped.  Single dirty rows go through their block too —
+        block evaluators own the cheap shared-structure path (e.g. the
+        coverage block's raster CSR rows vs a lazily built dense mask
+        matrix), so bouncing to per-row ``gain_many`` would rebuild state
+        the block exists to avoid.
+        """
+        if fused_groups is None:
+            for i in rows:
+                self._refresh_row(gain_matrix, relevance, batches, i, columns)
+            return
+        row_block, member_pos, blocks = fused_groups
+        row_idx = np.asarray(rows, dtype=np.intp)
+        r_pos, c_pos = np.nonzero(relevance[np.ix_(row_idx, columns)])
+        if r_pos.size == 0:
+            return
+        pair_rows = row_idx[r_pos]
+        pair_cols = columns[c_pos]
+        pair_block = row_block[pair_rows]
+        for b in np.unique(pair_block):
+            in_block = pair_block == b
+            pr = pair_rows[in_block]
+            pc = pair_cols[in_block]
+            gains = blocks[b].gain_many_block(member_pos[pr], pc)
+            gain_matrix[pr, pc] = np.where(gains > self.min_gain, gains, 0.0)
 
     def _refresh_row(
         self,
@@ -330,15 +466,15 @@ class GreedyAllocator:
 
         Summation runs sequentially down the query axis (``cumsum``), which
         is exactly the addition order of the scalar path's Python ``sum``
-        over its per-sensor gains dict — zero entries are exact no-ops — so
-        near-tie sensor selections cannot diverge between the two paths.
+        over its per-sensor gains dict — stored gains are never ``-0.0``,
+        so the all-zero rows the scalar path skips are exact no-ops here
+        and one full-height cumsum replaces the old contributing-row scan
+        bit-for-bit.  Near-tie sensor selections therefore cannot diverge
+        between the paths.
         """
         sub = gain_matrix[:, columns]
-        contributing = np.flatnonzero(sub.any(axis=1))
-        if contributing.size == 0:
-            net[columns] = 0.0 - costs[columns]
-        else:
-            net[columns] = sub[contributing].cumsum(axis=0)[-1] - costs[columns]
+        np.cumsum(sub, axis=0, out=sub)
+        net[columns] = sub[-1] - costs[columns]
 
     # ------------------------------------------------------------------
     # the scalar path: the historical per-pair reference implementation

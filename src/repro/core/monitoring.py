@@ -26,6 +26,7 @@ from ..queries import (
     new_query_id,
 )
 from ..sensors import SensorSnapshot
+from ..spatial.raster import get_raster
 from .allocation import AllocationResult
 from .sampling import SamplingPlan, paper_weight_function, plan_sampling
 
@@ -233,9 +234,26 @@ class RegionMonitoringController:
         sensors: Sequence[SensorSnapshot],
         t: int,
     ) -> dict[str, np.ndarray]:
-        """One in-region mask per active query over the stacked coordinates."""
+        """One in-region mask per active query over the stacked coordinates.
+
+        Containment is served from the slot's shared world raster
+        (:func:`~repro.spatial.raster.get_raster`), so repeated calls this
+        slot — and the allocator side, which shares the raster through the
+        kernel — pay one pass per (region, announcement batch) pair.
+        Plain containment is exactly ``relevant_mask``; subclasses that
+        override it keep the direct vectorized call.
+        """
         xy = _announcement_xy(sensors)
-        return {q.query_id: q.relevant_mask(xy) for q in queries if q.active(t)}
+        raster = get_raster(sensors, xy)
+        return {
+            q.query_id: (
+                raster.contains_mask(q.region)
+                if type(q) is RegionMonitoringQuery
+                else q.relevant_mask(xy)
+            )
+            for q in queries
+            if q.active(t)
+        }
 
     @staticmethod
     def _counts_from_masks(

@@ -49,6 +49,17 @@ unchanged):
     per-shard blocks, so many large region queries sharing a neighbourhood
     stop rasterizing against the whole fleet and reuse one gather.
 
+The slot's shared :class:`~repro.spatial.WorldRaster` is inherited from
+the dense kernel unchanged: a sharded kernel built zero-copy from an
+announcement batch resolves ``kernel.raster`` to the *same* instance as
+every other consumer of that batch (the raster attaches to the batch and
+is keyed by the full-fleet coordinate block), so fused aggregate gain
+blocks index one set of world CSR coverage rows whether the slot ran dense
+or sharded — rosters carry ``kernel_columns`` to map their candidate
+columns back to world columns.  Candidate-view relevance masks stay
+per-view on purpose: they evaluate on the gathered candidate blocks, and
+routing them through a full-fleet raster pass would undo the sharding win.
+
 Per-cell state lives in :class:`FleetShard`: the sorted member columns,
 plus a lazily built shard-local :class:`ValuationKernel` over just those
 sensors for direct per-shard consumers (the allocator paths themselves

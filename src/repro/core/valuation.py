@@ -44,6 +44,7 @@ import numpy as np
 from ..queries import PointQuery, SensorRoster
 from ..sensors import SensorSnapshot
 from ..sensors.state import SnapshotColumnView, as_announcement_sequence
+from ..spatial.raster import WorldRaster, get_raster
 
 __all__ = ["ValuationKernel", "announcement_token"]
 
@@ -115,6 +116,8 @@ class ValuationKernel:
     _token: tuple | None = field(default=None, repr=False, compare=False)
     #: the producing batch's O(1) version stamp, when built from one.
     _stamp: tuple | None = field(default=None, repr=False, compare=False)
+    #: the slot's shared world raster over ``sensor_xy`` (lazy).
+    _raster: WorldRaster | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # construction
@@ -249,6 +252,24 @@ class ValuationKernel:
     def n_sensors(self) -> int:
         return len(self.sensors)
 
+    @property
+    def raster(self) -> WorldRaster:
+        """The slot's shared :class:`~repro.spatial.WorldRaster`.
+
+        Attached to the announcement batch when possible (see
+        :func:`~repro.spatial.raster.get_raster`), so a kernel built
+        zero-copy from a batch shares one raster — and its cached
+        containment/coverage geometry — with every other consumer of that
+        batch this slot (monitoring controllers, sharded kernels).
+        Revalidated against :attr:`sensor_xy` by object identity, which
+        survives :meth:`ensure` rebinds (those keep the stacked arrays).
+        """
+        raster = self._raster
+        if raster is None or raster.xy is not self.sensor_xy:
+            raster = get_raster(self.sensors, self.sensor_xy)
+            self._raster = raster
+        return raster
+
     def roster(
         self,
         indices: np.ndarray | None = None,
@@ -273,11 +294,18 @@ class ValuationKernel:
         """
         source = self.sensors if snapshots is None else as_announcement_sequence(snapshots)
         if indices is None:
-            return SensorRoster(source, self.sensor_xy, self.gamma, self.trust)
-        picked = SnapshotColumnView(source, indices)
-        return SensorRoster(
-            picked, self.sensor_xy[indices], self.gamma[indices], self.trust[indices]
-        )
+            roster = SensorRoster(source, self.sensor_xy, self.gamma, self.trust)
+        else:
+            picked = SnapshotColumnView(source, indices)
+            roster = SensorRoster(
+                picked,
+                self.sensor_xy[indices],
+                self.gamma[indices],
+                self.trust[indices],
+            )
+            roster.kernel_columns = np.asarray(indices, dtype=np.intp)
+        roster.raster = self.raster
+        return roster
 
     # ------------------------------------------------------------------
     # the matrix path (eq. 9/12 consumers: PointProblem, BILP, local search)

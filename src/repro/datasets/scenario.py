@@ -201,6 +201,12 @@ class ScenarioSpec:
             the shard cell side (see
             :class:`~repro.core.sharding.ShardedKernel`; allocations are
             bit-identical either way).
+        fused: fused gain-block pipeline override — ``None`` leaves the
+            allocators at their own default (``"auto"``), ``true``/
+            ``"auto"`` forces type-blocked fused refreshes, ``false``
+            forces the per-row batch path (see
+            :func:`~repro.core.greedy.normalize_fused`; allocations are
+            bit-identical either way).
     """
 
     name: str
@@ -215,6 +221,7 @@ class ScenarioSpec:
     streams: tuple[StreamSpec, ...] = (StreamSpec("point"),)
     fleet: dict[str, Any] = field(default_factory=dict)
     sharding: float | bool | str | None = None
+    fused: bool | str | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in ("rwm", "rnc", "intel"):
@@ -229,9 +236,12 @@ class ScenarioSpec:
             raise ValueError("a scenario needs at least one stream")
         if self.n_slots < 1:
             raise ValueError("n_slots must be >= 1")
+        from ..core.greedy import normalize_fused
         from ..core.sharding import normalize_sharding
 
         normalize_sharding(self.sharding)  # validation only; raises on junk
+        if self.fused is not None:
+            normalize_fused(self.fused)  # validation only; raises on junk
         # Cross-field: the BILP/local-search allocators schedule single-sensor
         # point queries only (monitoring streams qualify — they emit derived
         # point queries; event streams emit EventSlotQuery sets); reject
@@ -258,6 +268,7 @@ class ScenarioSpec:
         known = {
             "name", "dataset", "seed", "workload_seed", "n_sensors", "n_slots",
             "rnc_presence", "allocator", "allocation", "fleet", "sharding",
+            "fused",
         }
         extra = set(payload) - known
         if extra:
@@ -287,6 +298,8 @@ class ScenarioSpec:
             out["fleet"] = dict(self.fleet)
         if self.sharding is not None:
             out["sharding"] = self.sharding
+        if self.fused is not None:
+            out["fused"] = self.fused
         return out
 
     @classmethod
@@ -457,6 +470,7 @@ class ScenarioSpec:
             np.random.default_rng(workload_seed),
             verify_each_slot=len(streams) > 1,
             sharding=self.sharding,
+            fused=self.fused,
         )
 
     def run(self, n_slots: int | None = None):

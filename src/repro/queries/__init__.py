@@ -3,11 +3,14 @@
 from .aggregate import AggregateOp, SpatialAggregateQuery, TrajectoryQuery, sensor_quality
 from .base import (
     BatchGainState,
+    GainBlock,
     Query,
     QueryType,
     SensorRoster,
     ValuationState,
+    gain_block_trusted,
     new_query_id,
+    resolve_batch_state,
     resolve_relevant_mask,
 )
 from .event import EventDetectionQuery, EventSlotQuery, detection_confidence
@@ -28,8 +31,11 @@ __all__ = [
     "ValuationState",
     "SensorRoster",
     "BatchGainState",
+    "GainBlock",
     "new_query_id",
     "resolve_relevant_mask",
+    "resolve_batch_state",
+    "gain_block_trusted",
     "PointQuery",
     "MultiSensorPointQuery",
     "reading_quality",

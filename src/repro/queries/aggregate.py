@@ -14,6 +14,14 @@ A query over a trajectory "can be treated as a special case of spatial
 aggregate query in which instead of providing a region of interest, a
 trajectory is specified" (Section 2.2.3); :class:`TrajectoryQuery` performs
 that reduction with a corridor coverage function.
+
+Gain evaluation is layered: :class:`_CoverageState` answers scalar
+``gain``; :class:`_CoverageBatch` vectorizes ``gain_many`` against a
+(lazily built) dense coverage-mask matrix; and :class:`_CoverageBlock`
+fuses a whole slot's same-type batches into one evaluator indexing the
+shared :class:`~repro.spatial.raster.WorldRaster` covered-cell CSR rows —
+no per-query mask matrices at all.  All three produce bit-identical gains
+(the batch/block layers reuse the scalar layer's arithmetic sequence).
 """
 
 from __future__ import annotations
@@ -34,7 +42,14 @@ from ..spatial import (
     as_xy,
 )
 from ..spatial.coverage import masks_for_xy
-from .base import BatchGainState, Query, QueryType, SensorRoster, ValuationState
+from .base import (
+    BatchGainState,
+    GainBlock,
+    Query,
+    QueryType,
+    SensorRoster,
+    ValuationState,
+)
 
 __all__ = ["AggregateOp", "SpatialAggregateQuery", "TrajectoryQuery", "sensor_quality"]
 
@@ -76,16 +91,29 @@ class _CoverageBatch(BatchGainState):
         query = state.query
         relevant = roster.relevance_row(query)
         self._relevant = relevant
+        self._rel_idx = np.flatnonzero(relevant)
         # Row index into the mask matrix per roster column (-1: irrelevant).
         self._mask_row = np.full(roster.n_sensors, -1, dtype=np.intp)
-        rel_idx = np.flatnonzero(relevant)
-        self._mask_row[rel_idx] = np.arange(len(rel_idx))
-        # Masks come straight from the roster's shared coordinate block —
-        # no Location objects, no snapshot materialization (built-in
-        # coverage functions take (n, 2) arrays natively; legacy overrides
-        # still get Location sequences via masks_for_xy).
-        self._masks = masks_for_xy(query.coverage, roster.xy[rel_idx])
+        self._mask_row[self._rel_idx] = np.arange(len(self._rel_idx))
+        # The dense mask matrix builds lazily: the fused block path indexes
+        # the slot raster's CSR coverage rows instead and never needs it.
+        self._masks: np.ndarray | None = None
         self._quality = (1.0 - roster.gamma) * roster.trust
+
+    @property
+    def masks(self) -> np.ndarray:
+        """``(n_relevant, n_cells)`` per-candidate coverage masks (lazy).
+
+        Masks come straight from the roster's shared coordinate block — no
+        Location objects, no snapshot materialization (built-in coverage
+        functions take (n, 2) arrays natively; legacy overrides still get
+        Location sequences via :func:`masks_for_xy`).
+        """
+        if self._masks is None:
+            self._masks = masks_for_xy(
+                self.state.query.coverage, self.roster.xy[self._rel_idx]
+            )
+        return self._masks
 
     def gain_many(self, indices: np.ndarray) -> np.ndarray:
         state = self.state
@@ -98,12 +126,128 @@ class _CoverageBatch(BatchGainState):
         rel_pos = np.flatnonzero(self._relevant[indices])
         if rel_pos.size:
             rel_cols = indices[rel_pos]
-            rows = self._masks[self._mask_row[rel_cols]]
+            rows = self.masks[self._mask_row[rel_cols]]
             counts[rel_pos] += (rows & ~state._mask).sum(axis=1)
             quality_sums[rel_pos] = state._quality_sum + self._quality[rel_cols]
         coverage = counts / n_cells if n_cells else np.zeros(len(indices))
         value_new = (query.budget * coverage) * (quality_sums / count)
         return value_new - state.value
+
+    @classmethod
+    def block(cls, members) -> GainBlock:
+        return _CoverageBlock(members)
+
+    def _coverage_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR covered-cell rows over the relevant roster columns.
+
+        Prefers the slot raster's shared (and box-accelerated) builder;
+        rosters without one fall back to the dense mask matrix's nonzero
+        structure.  Either way the row memberships are exactly the dense
+        matrix's ``True`` positions (see :mod:`repro.spatial.raster`).
+        """
+        raster = self.roster.raster
+        if raster is not None:
+            kernel_columns = self.roster.kernel_columns
+            world_cols = (
+                self._rel_idx
+                if kernel_columns is None
+                else kernel_columns[self._rel_idx]
+            )
+            return raster.coverage_rows(self.state.query.coverage, world_cols)
+        rows, cells = np.nonzero(self.masks)
+        counts = np.bincount(rows, minlength=len(self._rel_idx))
+        indptr = np.zeros(len(self._rel_idx) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, cells.astype(np.int64, copy=False)
+
+
+class _CoverageBlock(GainBlock):
+    """Fused eq.-(5) gains for a slot's aggregate queries over shared CSR rows.
+
+    All members' covered-cell rows live in one concatenated cell index
+    space (per-member offsets).  A round's pairs gather their covered
+    cells in one flattened pass, count the *uncovered* ones against a
+    per-member uncovered-cell vector refreshed from the live states
+    (``np.bincount`` with 0/1 float weights — exact integer sums), and
+    finish with the exact per-pair eq.-(5) operation order of
+    :meth:`_CoverageBatch.gain_many`, so fused gains are bit-identical to
+    the per-member path.  Callers must pass *relevant* pairs only (the
+    greedy allocator's dirty pairs are relevance-filtered by construction);
+    the base :class:`GainBlock` remains the evaluator for arbitrary pairs.
+    """
+
+    def __init__(self, members) -> None:
+        super().__init__(members)
+        m = len(self.members)
+        n = self.members[0].roster.n_sensors if self.members else 0
+        cell_counts = np.fromiter(
+            (b.state.query.coverage.cell_count for b in self.members), np.int64, m
+        )
+        self._n_cells = cell_counts.astype(float)
+        self._cell_off = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(cell_counts, out=self._cell_off[1:])
+        self._uncovered = np.zeros(int(self._cell_off[-1]), dtype=float)
+        self._budgets = np.fromiter(
+            (b.state.query.budget for b in self.members), float, m
+        )
+        self._qualities = np.empty((m, n), dtype=float)
+        # Per-(member, roster column) slice into the concatenated cell ids.
+        self._start = np.zeros((m, n), dtype=np.int64)
+        self._len = np.zeros((m, n), dtype=np.int64)
+        chunks = []
+        base = 0
+        for p, member in enumerate(self.members):
+            self._qualities[p] = member._quality
+            indptr, cells = member._coverage_rows()
+            rel_idx = member._rel_idx
+            if rel_idx.size:
+                self._start[p, rel_idx] = indptr[:-1] + base
+                self._len[p, rel_idx] = np.diff(indptr)
+            chunks.append(cells + self._cell_off[p])
+            base += len(cells)
+        self._cells = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        )
+
+    def gain_many_block(
+        self, member_idx: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        members = self.members
+        n_members = len(members)
+        base_covered = np.zeros(n_members, dtype=float)
+        quality_sums = np.zeros(n_members, dtype=float)
+        counts_sel = np.ones(n_members, dtype=float)
+        values = np.zeros(n_members, dtype=float)
+        for u in np.unique(member_idx):
+            state = members[u].state
+            self._uncovered[self._cell_off[u] : self._cell_off[u + 1]] = ~state._mask
+            base_covered[u] = state._mask.sum()
+            quality_sums[u] = state._quality_sum
+            counts_sel[u] = len(state.selected) + 1
+            values[u] = state.value
+        starts = self._start[member_idx, indices]
+        lens = self._len[member_idx, indices]
+        total = int(lens.sum())
+        if total:
+            prev = np.zeros(len(member_idx), dtype=np.int64)
+            np.cumsum(lens[:-1], out=prev[1:])
+            ids = self._cells[np.repeat(starts - prev, lens) + np.arange(total)]
+            pair_of = np.repeat(np.arange(len(member_idx)), lens)
+            new_covered = np.bincount(
+                pair_of, weights=self._uncovered[ids], minlength=len(member_idx)
+            )
+        else:
+            new_covered = np.zeros(len(member_idx), dtype=float)
+        counts = base_covered[member_idx] + new_covered
+        n_cells = self._n_cells[member_idx]
+        empty = n_cells == 0.0
+        coverage = counts / np.where(empty, 1.0, n_cells)
+        coverage[empty] = 0.0
+        qsums = quality_sums[member_idx] + self._qualities[member_idx, indices]
+        value_new = (self._budgets[member_idx] * coverage) * (
+            qsums / counts_sel[member_idx]
+        )
+        return value_new - values[member_idx]
 
 
 class _CoverageState(ValuationState):

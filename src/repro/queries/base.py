@@ -25,6 +25,27 @@ state simply loops over :meth:`ValuationState.gain`, which keeps arbitrary
 user-provided valuation functions correct; the built-in query types
 override it with closed-form vectorizations.
 
+One level above the per-query batch states sits the **block-gain
+protocol**: an allocator groups same-type batch states into a
+:class:`GainBlock` (:meth:`BatchGainState.block`) and evaluates *all* dirty
+(query, sensor) pairs of the group in one fused
+:meth:`GainBlock.gain_many_block` call per greedy round, instead of one
+``gain_many`` call per dirty query row.  The built-in query types override
+``block`` with stacked closed forms (quality-row matrices for the
+point-flavoured types, flattened covered-cell CSR deltas for the coverage
+types); the base :class:`GainBlock` falls back to a per-member
+``gain_many`` loop, which keeps arbitrary subclasses correct.
+
+Both layers are guarded by the MRO staleness test of
+:func:`repro.dispatch.batch_hook_trusted`, forming the **fallback
+lattice**: a subclass overriding only the scalar ``gain`` is routed out of
+its base's closed-form batch state by :func:`resolve_batch_state` (it gets
+the generic scalar-looping :class:`BatchGainState`); a subclass overriding
+only ``gain_many`` is routed out of its base's fused block by
+:func:`gain_block_trusted` (it gets the generic row-looping
+:class:`GainBlock`).  Either way the override stays authoritative and the
+fused path degrades one level at a time, never past correctness.
+
 Alongside the gains sits the **batch-relevance protocol**
 (:meth:`Query.relevant_mask`): one vectorized pass mapping a slot's stacked
 announcement arrays — ``(n, 2)`` coordinates plus the matching inaccuracy
@@ -69,8 +90,11 @@ __all__ = [
     "ValuationState",
     "SensorRoster",
     "BatchGainState",
+    "GainBlock",
     "new_query_id",
     "resolve_relevant_mask",
+    "resolve_batch_state",
+    "gain_block_trusted",
 ]
 
 
@@ -153,6 +177,14 @@ class SensorRoster:
             by query id — allocators that already screened ``Q_{l_s}``
             park the rows here so batch states don't re-run the scalar
             ``Query.relevant`` per candidate.
+        raster: optional :class:`~repro.spatial.WorldRaster` of the slot
+            the roster was cut from — kernels attach it so batch/block
+            states share the slot's cached coverage rows and containment
+            passes instead of re-rasterizing per query.
+        kernel_columns: when the roster is a column subset of a kernel,
+            the kernel (world) column index of each roster column —
+            ``None`` means the identity mapping.  Raster caches are keyed
+            in world columns, so block states translate through this.
     """
 
     def __init__(
@@ -181,6 +213,8 @@ class SensorRoster:
         self.trust = trust
         self.value_rows: dict[str, np.ndarray] = {}
         self.relevance_rows: dict[str, np.ndarray] = {}
+        self.raster = None
+        self.kernel_columns: np.ndarray | None = None
 
     def relevance_row(self, query: "Query") -> np.ndarray:
         """This query's boolean relevance over the roster (cached).
@@ -230,6 +264,89 @@ class BatchGainState:
         gain = self.state.gain
         snapshots = self.roster.snapshots
         return np.asarray([gain(snapshots[j]) for j in indices], dtype=float)
+
+    @classmethod
+    def block(cls, members: Sequence["BatchGainState"]) -> "GainBlock":
+        """A fused evaluator over same-class batch states (see the module
+        docstring's block-gain protocol).
+
+        The base implementation returns the generic row-looping
+        :class:`GainBlock` — always correct, never fused.  Built-in batch
+        states override this classmethod with stacked closed forms whose
+        per-pair results are bit-identical to their own ``gain_many``.
+        """
+        return GainBlock(members)
+
+
+class GainBlock:
+    """Fused marginal-gain evaluation over a group of same-class batch states.
+
+    One block owns the batch states (``members``) of every query of one
+    type in an allocator call; :meth:`gain_many_block` evaluates an entire
+    round's dirty (member, sensor) pairs in one pass.  Like batch states,
+    blocks re-read each member's *live* scalar state on every call, so no
+    synchronization hooks are needed after commits.
+
+    The base implementation loops ``gain_many`` over the per-member runs of
+    the pair list — always correct for arbitrary subclasses, merely not
+    fused.  Built-in query types subclass with stacked closed forms.
+    """
+
+    def __init__(self, members: Sequence[BatchGainState]) -> None:
+        self.members = list(members)
+
+    def gain_many_block(
+        self, member_idx: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        """Gains of pair ``(members[member_idx[p]], indices[p])`` for each p.
+
+        ``member_idx`` must be *grouped*: equal members occupy contiguous
+        runs (allocators produce the pairs row-major, so this holds by
+        construction).  Results are positionally aligned with the input
+        pairs and bit-identical to calling each member's ``gain_many`` on
+        its run.
+        """
+        out = np.empty(len(member_idx), dtype=float)
+        if len(member_idx) == 0:
+            return out
+        boundaries = np.flatnonzero(np.diff(member_idx)) + 1
+        starts = np.concatenate(([0], boundaries, [len(member_idx)]))
+        for a, b in zip(starts[:-1], starts[1:]):
+            out[a:b] = self.members[member_idx[a]].gain_many(indices[a:b])
+        return out
+
+
+#: Scalar hooks whose override invalidates an inherited closed-form
+#: ``batch`` state: the scalar gain itself (``add`` shares its arithmetic
+#: through the same state class, so ``gain`` is the one source of truth).
+_GAIN_HOOKS = ("gain",)
+
+
+def resolve_batch_state(state: "ValuationState", roster: SensorRoster) -> BatchGainState:
+    """``state.batch(roster)``, honouring scalar-only ``gain`` overrides.
+
+    First level of the fallback lattice (module docstring): a subclass
+    that overrides the scalar :meth:`ValuationState.gain` *without*
+    overriding :meth:`ValuationState.batch` must not be routed through its
+    base's closed-form batch state, whose stacked arithmetic no longer
+    reflects the scalar semantics.  Such states get the generic
+    :class:`BatchGainState`, which loops their own ``gain``.
+    """
+    if batch_hook_trusted(type(state), "batch", _GAIN_HOOKS):
+        return state.batch(roster)
+    return BatchGainState(state, roster)
+
+
+def gain_block_trusted(batch_cls: type) -> bool:
+    """Whether ``batch_cls``'s ``block`` hook still speaks for ``gain_many``.
+
+    Second level of the fallback lattice: a batch-state subclass that
+    overrides ``gain_many`` without overriding the ``block`` classmethod
+    must not be fused through its base's stacked block.  Callers build the
+    generic row-looping :class:`GainBlock` instead, which honours the
+    ``gain_many`` override.
+    """
+    return batch_hook_trusted(batch_cls, "block", ("gain_many",))
 
 
 class ValuationState:

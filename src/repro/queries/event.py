@@ -28,7 +28,15 @@ import numpy as np
 
 from ..sensors import SensorSnapshot
 from ..spatial import Location
-from .base import BatchGainState, Query, QueryType, SensorRoster, ValuationState, new_query_id
+from .base import (
+    BatchGainState,
+    GainBlock,
+    Query,
+    QueryType,
+    SensorRoster,
+    ValuationState,
+    new_query_id,
+)
 from .monitoring import ContinuousQuery
 from .point import _quality_gated_mask, _quality_row, reading_quality
 
@@ -74,6 +82,47 @@ class _EventBatch(BatchGainState):
             1.0, confidence / query.required_confidence
         )
         return value_new - state.value
+
+    @classmethod
+    def block(cls, members) -> GainBlock:
+        return _EventBlock(members)
+
+
+class _EventBlock(GainBlock):
+    """Fused event-slot gains: stacked quality rows, live failure products.
+
+    Per pair this performs :meth:`_EventBatch.gain_many`'s exact scalar
+    chain — ``1 - prod * (1 - theta)``, then the clipped confidence ratio
+    scaled by the budget — with the per-member failure products and values
+    gathered live each call, so fused and per-row gains are bit-identical.
+    """
+
+    def __init__(self, members) -> None:
+        super().__init__(members)
+        n = members[0].roster.n_sensors if members else 0
+        self._qualities = np.empty((len(self.members), n), dtype=float)
+        self._budgets = np.empty(len(self.members), dtype=float)
+        self._required = np.empty(len(self.members), dtype=float)
+        for p, member in enumerate(self.members):
+            self._qualities[p] = member._qualities
+            self._budgets[p] = member.state.query.budget
+            self._required[p] = member.state.query.required_confidence
+
+    def gain_many_block(
+        self, member_idx: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        failure = np.fromiter(
+            (m.state._failure_prod for m in self.members), float, len(self.members)
+        )
+        values = np.fromiter(
+            (m.state.value for m in self.members), float, len(self.members)
+        )
+        theta = self._qualities[member_idx, indices]
+        confidence = 1.0 - failure[member_idx] * (1.0 - theta)
+        value_new = self._budgets[member_idx] * np.minimum(
+            1.0, confidence / self._required[member_idx]
+        )
+        return value_new - values[member_idx]
 
 
 class _EventState(ValuationState):

@@ -24,7 +24,14 @@ import numpy as np
 
 from ..sensors import SensorSnapshot
 from ..spatial import Location, as_xy
-from .base import BatchGainState, Query, QueryType, SensorRoster, ValuationState
+from .base import (
+    BatchGainState,
+    GainBlock,
+    Query,
+    QueryType,
+    SensorRoster,
+    ValuationState,
+)
 
 __all__ = ["reading_quality", "PointQuery", "MultiSensorPointQuery"]
 
@@ -114,6 +121,37 @@ class _BestSensorBatch(BatchGainState):
     def gain_many(self, indices: np.ndarray) -> np.ndarray:
         return np.maximum(self._row[indices] - self.state.value, 0.0)
 
+    @classmethod
+    def block(cls, members) -> GainBlock:
+        return _BestSensorBlock(members)
+
+
+class _BestSensorBlock(GainBlock):
+    """Fused point-query gains: the stacked value rows clipped per member.
+
+    Per pair this is exactly :meth:`_BestSensorBatch.gain_many`'s
+    ``max(row[j] - state.value, 0)`` — the member values are gathered live
+    per call, the rows once at construction — so the fused and per-row
+    paths are bit-identical.
+    """
+
+    def __init__(self, members) -> None:
+        super().__init__(members)
+        n = members[0].roster.n_sensors if members else 0
+        self._rows = np.empty((len(self.members), n), dtype=float)
+        for p, member in enumerate(self.members):
+            self._rows[p] = member._row
+
+    def gain_many_block(
+        self, member_idx: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        values = np.fromiter(
+            (m.state.value for m in self.members), float, len(self.members)
+        )
+        return np.maximum(
+            self._rows[member_idx, indices] - values[member_idx], 0.0
+        )
+
 
 class _BestSensorState(ValuationState):
     """O(1) incremental state for max-semantics point queries."""
@@ -163,6 +201,64 @@ class _TopKBatch(BatchGainState):
             total += stacked[:, j]
         value_new = query.budget * total / query.n_readings
         return value_new - state.value
+
+    @classmethod
+    def block(cls, members) -> GainBlock:
+        return _TopKBlock(members)
+
+
+class _TopKBlock(GainBlock):
+    """Fused multi-sensor point-query gains over padded quality matrices.
+
+    Candidate qualities are stacked once; each call pads every pair's row
+    to the widest dirty member's selected count with ``-1`` sentinels
+    (real qualities are ``>= 0``, so after the descending sort the padding
+    sits strictly below every real entry and a pair's leading ``m + 1``
+    sorted entries equal :meth:`_TopKBatch.gain_many`'s exactly), then a
+    row ``cumsum`` — sequential addition, the same order as the per-row
+    loop — is sampled at each pair's own ``k - 1``.  Bit-identical to the
+    per-member path.
+    """
+
+    def __init__(self, members) -> None:
+        super().__init__(members)
+        n = members[0].roster.n_sensors if members else 0
+        self._qualities = np.empty((len(self.members), n), dtype=float)
+        for p, member in enumerate(self.members):
+            self._qualities[p] = member._qualities
+
+    def gain_many_block(
+        self, member_idx: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        members = self.members
+        dirty = np.unique(member_idx)
+        selected = {}
+        for u in dirty:
+            state = members[u].state
+            query = state.query
+            selected[u] = [query.quality(s) for s in state.selected]
+        width = max(len(selected[u]) for u in dirty) + 1
+        stacked = np.full((len(member_idx), width), -1.0)
+        k_of = np.empty(len(members), dtype=np.intp)
+        values = np.zeros(len(members), dtype=float)
+        budgets = np.empty(len(members), dtype=float)
+        n_readings = np.empty(len(members), dtype=float)
+        for u in dirty:
+            rows = member_idx == u
+            qualities = selected[u]
+            if qualities:
+                stacked[rows, : len(qualities)] = qualities
+            stacked[rows, len(qualities)] = self._qualities[u][indices[rows]]
+            state = members[u].state
+            k_of[u] = min(state.query.n_readings, len(qualities) + 1)
+            values[u] = state.value
+            budgets[u] = state.query.budget
+            n_readings[u] = state.query.n_readings
+        stacked = np.sort(stacked, axis=1)[:, ::-1]
+        csum = np.cumsum(stacked, axis=1)
+        total = csum[np.arange(len(member_idx)), k_of[member_idx] - 1]
+        value_new = budgets[member_idx] * total / n_readings[member_idx]
+        return value_new - values[member_idx]
 
 
 class _TopKState(ValuationState):

@@ -6,8 +6,11 @@ from .index import UniformGridIndex
 from .region import Region
 from .trajectory import Trajectory
 from .coverage import AreaCoverage, CoverageFunction, TrajectoryCoverage, WeightedCoverage
+from .raster import WorldRaster, get_raster
 
 __all__ = [
+    "WorldRaster",
+    "get_raster",
     "Location",
     "as_xy",
     "Region",

@@ -1,0 +1,248 @@
+"""The shared world coverage raster: one slot's geometry caches.
+
+A slot with many region queries repeats three kinds of geometric work
+against the *same* announced coordinates:
+
+* **coverage rasterization** — every aggregate/trajectory query builds an
+  ``(n_relevant, n_cells)`` mask matrix (``CoverageFunction.masks_for``)
+  even though a sensor's covered cells are a tiny disk of the region;
+* **region containment** — monitoring controllers and relevance prefilters
+  evaluate ``Region.contains_many`` / ``Region.exterior_distance_sq`` per
+  consumer per call, although a (region, announcement-set) pair can only
+  ever produce one answer per slot;
+* and every consumer re-derives these independently, so nothing is shared
+  between the dense kernel, a sharded kernel's candidate views, and the
+  monitoring controllers.
+
+:class:`WorldRaster` is the one slot-level home for all of it.  It is keyed
+by the announced ``(n, 2)`` coordinate block (the same array object the
+kernel, the announcement batch and the controllers already share) and
+caches
+
+* :meth:`coverage_rows` — per-sensor covered-cell rows in CSR form
+  (``indptr``/``cells``), the structure the fused aggregate gain blocks
+  (:class:`repro.queries.aggregate._CoverageBlock`) index into;
+* :meth:`exterior_distance_sq` / :meth:`contains_mask` — per-region
+  containment passes, shared by aggregate ``relevant_mask`` screening and
+  ``RegionMonitoringController.region_counts``.
+
+**Bit-identity contract.**  Every cached quantity is produced by exactly
+the arithmetic of the uncached path.  Containment caches call the very
+``Region`` methods consumers called before.  Coverage rows reproduce the
+membership of ``masks_for_xy`` row-for-row: the grid-accelerated builder
+only *pre-selects candidate cells* with a conservative index box — the
+final membership test is the same ``sqrt(dx*dx + dy*dy) <= sensing_range``
+on the function's own stored cell coordinates, so a cell is covered in the
+CSR iff it is covered in the dense mask, down to the last ulp of a
+boundary case.
+
+**The grid fast path.**  For exact :class:`~repro.spatial.AreaCoverage` /
+:class:`~repro.spatial.WeightedCoverage` instances (subclasses are *not*
+trusted — they may re-rasterize arbitrarily and fall back to the dense
+mask builder) the cell layout is the row-major ``Region.grid_cells`` grid,
+so each sensor's candidate cells form a small index box around it: the
+builder enumerates ``O(r^2 / cell^2)`` candidates per sensor instead of
+testing all ``n_cells``, which is what turns a 48x48-region slot's
+per-sensor work from ~2300 cells into ~120.  The layout is validated
+against the function's stored ``_cells`` (count and exact first/last
+centres) before it is trusted.
+
+Lifetime: a raster lives exactly as long as its coordinate block — it is
+attached to the announcement batch (or kernel) that owns the array, so all
+of one slot's consumers (dense kernel, sharded kernel candidate machinery,
+monitoring controllers) resolve to the same instance and every cache entry
+is computed at most once per slot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coverage import AreaCoverage, CoverageFunction, WeightedCoverage, masks_for_xy
+from .region import Region
+
+__all__ = ["WorldRaster", "get_raster"]
+
+_ATTR = "_world_raster"
+
+
+def get_raster(holder, xy: np.ndarray) -> "WorldRaster":
+    """The :class:`WorldRaster` shared by all consumers of ``xy``.
+
+    ``holder`` is the object that owns the coordinate block — an
+    :class:`~repro.sensors.AnnouncementBatch`, usually.  The raster is
+    cached as an attribute on it so the kernel, the sharded candidate
+    machinery and the monitoring controllers all resolve to one instance;
+    holders that refuse attributes (plain lists) simply get a fresh raster
+    per call, which is correct and merely uncached.
+    """
+    raster = getattr(holder, _ATTR, None)
+    if raster is not None and raster.xy is xy:
+        return raster
+    raster = WorldRaster(xy)
+    try:
+        setattr(holder, _ATTR, raster)
+    except (AttributeError, TypeError):
+        pass
+    return raster
+
+
+def _grid_layout(fn: CoverageFunction):
+    """``(x_min, y_min, cell, nx, ny)`` when ``fn`` is a trusted region grid.
+
+    Exact-type gate (mirroring ``ShardedKernel._query_box``): only the
+    in-repo rasterized region functions are known to lay their cells out as
+    the row-major ``Region.grid_cells`` grid.  The reconstruction is then
+    validated against the stored cells — count plus exact first/last centre
+    coordinates (the same ``x_min + (i + 0.5) * cell`` expression
+    ``grid_cells`` evaluates, so equality is exact, not approximate).
+    """
+    if type(fn) not in (AreaCoverage, WeightedCoverage):
+        return None
+    region, cell = fn.region, float(fn.cell_size)
+    if not cell > 0.0:
+        return None
+    nx = max(1, int(round(region.width / cell)))
+    ny = max(1, int(round(region.height / cell)))
+    cells = fn._cells
+    if len(cells) != nx * ny:
+        return None
+    first_x = region.x_min + (0 + 0.5) * cell
+    first_y = region.y_min + (0 + 0.5) * cell
+    last_x = region.x_min + (nx - 1 + 0.5) * cell
+    last_y = region.y_min + (ny - 1 + 0.5) * cell
+    if (
+        cells[0, 0] != first_x
+        or cells[0, 1] != first_y
+        or cells[-1, 0] != last_x
+        or cells[-1, 1] != last_y
+    ):
+        return None
+    return region.x_min, region.y_min, cell, nx, ny
+
+
+class WorldRaster:
+    """Per-slot geometry caches over one announced coordinate block.
+
+    Attributes:
+        xy: the ``(n, 2)`` world coordinates every cache is keyed under —
+            the same array object the kernel/batch stacked, never copied.
+    """
+
+    def __init__(self, xy: np.ndarray) -> None:
+        self.xy = np.asarray(xy, dtype=float)
+        # id(fn) -> (fn, cols, indptr, cells); fn is held strongly both to
+        # pin the id against reuse and because the raster's lifetime is one
+        # slot's announcement block.
+        self._coverage_rows: dict[int, tuple] = {}
+        self._exterior: dict[Region, np.ndarray] = {}
+        self._contains: dict[Region, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # region containment caches
+    # ------------------------------------------------------------------
+    def exterior_distance_sq(self, region: Region) -> np.ndarray:
+        """Cached ``region.exterior_distance_sq`` over the world block.
+
+        The returned array is shared and read-only; thresholding it (e.g.
+        ``<= sensing_range**2`` for the aggregate relevance prefilter)
+        allocates a fresh mask, so consumers compose freely.
+        """
+        out = self._exterior.get(region)
+        if out is None:
+            out = region.exterior_distance_sq(self.xy)
+            out.setflags(write=False)
+            self._exterior[region] = out
+        return out
+
+    def contains_mask(self, region: Region) -> np.ndarray:
+        """Cached ``region.contains_many`` over the world block (read-only)."""
+        out = self._contains.get(region)
+        if out is None:
+            out = region.contains_many(self.xy)
+            out.setflags(write=False)
+            self._contains[region] = out
+        return out
+
+    # ------------------------------------------------------------------
+    # per-sensor covered-cell rows
+    # ------------------------------------------------------------------
+    def coverage_rows(
+        self, fn: CoverageFunction, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR covered-cell rows of ``fn`` for the world columns ``cols``.
+
+        Returns ``(indptr, cells)``: row ``i`` (sensor ``cols[i]``) covers
+        the cell indices ``cells[indptr[i]:indptr[i+1]]`` of ``fn``'s own
+        cell order — exactly the ``True`` positions of row ``i`` of
+        ``masks_for_xy(fn, xy[cols])``, ascending.  Both arrays are shared
+        and read-only.
+        """
+        cols = np.asarray(cols, dtype=np.intp)
+        key = id(fn)
+        entry = self._coverage_rows.get(key)
+        if (
+            entry is not None
+            and entry[0] is fn
+            and (entry[1] is cols or np.array_equal(entry[1], cols))
+        ):
+            return entry[2], entry[3]
+        indptr, cells = self._build_rows(fn, cols)
+        indptr.setflags(write=False)
+        cells.setflags(write=False)
+        self._coverage_rows[key] = (fn, cols, indptr, cells)
+        return indptr, cells
+
+    def _build_rows(
+        self, fn: CoverageFunction, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        layout = _grid_layout(fn)
+        if layout is None:
+            # Dense fallback: any coverage function, any cell layout.  The
+            # mask matrix is transient — only its nonzero structure is kept.
+            masks = masks_for_xy(fn, self.xy[cols])
+            rows, cells = np.nonzero(masks)
+            counts = np.bincount(rows, minlength=len(cols))
+            indptr = np.zeros(len(cols) + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            return indptr, cells.astype(np.int64, copy=False)
+        x_min, y_min, cell, nx, ny = layout
+        r = float(fn.sensing_range)
+        sx = self.xy[cols, 0]
+        sy = self.xy[cols, 1]
+        # Conservative candidate index boxes (padded by one cell so float
+        # rounding of the division can never exclude a boundary cell); the
+        # exact distance test below decides true membership.
+        ix_lo = np.floor((sx - r - x_min) / cell - 0.5).astype(np.int64) - 1
+        ix_hi = np.ceil((sx + r - x_min) / cell - 0.5).astype(np.int64) + 1
+        iy_lo = np.floor((sy - r - y_min) / cell - 0.5).astype(np.int64) - 1
+        iy_hi = np.ceil((sy + r - y_min) / cell - 0.5).astype(np.int64) + 1
+        np.clip(ix_lo, 0, nx - 1, out=ix_lo)
+        np.clip(ix_hi, 0, nx - 1, out=ix_hi)
+        np.clip(iy_lo, 0, ny - 1, out=iy_lo)
+        np.clip(iy_hi, 0, ny - 1, out=iy_hi)
+        box_nx = ix_hi - ix_lo + 1
+        box_ny = iy_hi - iy_lo + 1
+        counts = box_nx * box_ny
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(len(cols) + 1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        owner = np.repeat(np.arange(len(cols), dtype=np.int64), counts)
+        prev = np.zeros(len(cols), dtype=np.int64)
+        np.cumsum(counts[:-1], out=prev[1:])
+        rank = np.arange(total, dtype=np.int64) - prev[owner]
+        ix = ix_lo[owner] + rank // box_ny[owner]
+        iy = iy_lo[owner] + rank % box_ny[owner]
+        cell_idx = ix * ny + iy
+        # Membership on the function's stored cell coordinates, with the
+        # dense builder's exact arithmetic (cell - sensor, sqrt, <= r).
+        cxy = fn._cells[cell_idx]
+        dx = cxy[:, 0] - sx[owner]
+        dy = cxy[:, 1] - sy[owner]
+        keep = np.sqrt(dx * dx + dy * dy) <= r
+        owner = owner[keep]
+        cells = cell_idx[keep]
+        counts = np.bincount(owner, minlength=len(cols))
+        indptr = np.zeros(len(cols) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, cells

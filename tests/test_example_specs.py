@@ -18,6 +18,7 @@ EXPECTED = {
     "dense_urban.json",
     "metro_scale.json",
     "region_heavy.json",
+    "region_storm.json",
     "rush_hour_burst.json",
     "sparse_rural.json",
     "trust_churn.json",
@@ -102,6 +103,38 @@ def test_region_heavy_spec_exercises_the_mask_path():
     assert view is not None and len(view) == 4
 
 
+def test_region_storm_spec_exercises_the_fused_pipeline():
+    """The region-storm spec piles 128 overlapping aggregate queries on
+    20k sensors with both sharding and the fused block pipeline on auto;
+    a scaled-down build must propagate ``fused`` to the allocator, share
+    one world raster across the slot, and run."""
+    import dataclasses
+
+    from repro.core import ShardedKernel
+    from repro.sensors import AnnouncementBatch
+    from repro.spatial import get_raster
+
+    spec = ScenarioSpec.from_json(SPEC_DIR / "region_storm.json")
+    assert spec.n_sensors >= 20_000
+    assert spec.sharding == "auto"
+    assert spec.fused == "auto"
+    assert any(s.kind == "aggregate" for s in spec.streams)
+    small = dataclasses.replace(spec, n_sensors=1500, n_slots=2)
+    engine = small.build()
+    assert engine.fused == "auto"
+    assert engine.allocation.allocator.fused == "auto"
+    summary = engine.run(2)
+    assert summary.n_slots == 2
+    assert summary.total_queries > 0
+    kernel = engine._kernel
+    assert isinstance(kernel, ShardedKernel)
+    batch = kernel.sensors
+    assert isinstance(batch, AnnouncementBatch)
+    # The slot's kernel raster is the per-batch cached one: every
+    # aggregate query indexed the same covered-cell CSR rows.
+    assert kernel.raster is get_raster(batch, batch.xy)
+
+
 def spec_region(spec):
     """A sub-rectangle of the built world's working region for probing."""
     from repro.datasets import build_rwm_scenario
@@ -112,11 +145,16 @@ def spec_region(spec):
 
 
 def test_compare_scenarios_sweeps_spec_files():
+    import dataclasses
+
+    storm = ScenarioSpec.from_json(SPEC_DIR / "region_storm.json")
     specs = [
         ScenarioSpec.from_json(SPEC_DIR / "trust_churn.json"),
         ScenarioSpec.from_json(SPEC_DIR / "sparse_rural.json"),
+        # The fused-pipeline storm spec, shrunk to sweep size.
+        dataclasses.replace(storm, n_sensors=800, n_slots=2),
     ]
     figure = compare_scenarios(specs, n_slots=2)
-    assert set(figure.series) == {"trust-churn", "sparse-rural"}
+    assert set(figure.series) == {"trust-churn", "sparse-rural", "region-storm"}
     for series in figure.series.values():
         assert "avg_utility" in series and "satisfaction_ratio" in series

@@ -1,0 +1,464 @@
+"""Fused slot pipeline parity: type-blocked gain batches and the shared
+world coverage raster vs the per-row (PR-5) masked path.
+
+The contract under test (see ``repro.queries.base`` and
+``repro.spatial.raster``):
+
+* ``GreedyAllocator(fused="auto")`` allocations — assignments, values,
+  payments — compare ``==`` against ``fused=False`` for every built-in
+  query type, dense and sharded: each ``gain_many_block`` implementation
+  performs the exact per-pair arithmetic of its ``gain_many``;
+* ``WorldRaster.coverage_rows`` reproduces the dense
+  ``masks_for_xy`` membership row-for-row (the grid fast path only
+  pre-selects candidate cells; the final membership test is identical);
+* the **fallback lattice** routes subclasses out of paths their overrides
+  invalidate: a batch state overriding only ``gain_many`` never reaches a
+  native fused block (``gain_block_trusted``), a valuation state
+  overriding only scalar ``gain`` never reaches a native batch state
+  (``resolve_batch_state``) — mirroring the relevance-mask lattice pinned
+  in ``test_query_geometry_parity.py``;
+* ``GreedyAllocator._recompute_net``'s one-pass column cumsum matches the
+  sequential Python ``sum`` reference bit-for-bit (zero rows are exact
+  no-ops because stored gains are never ``-0.0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import make_snapshot
+from repro.core import GreedyAllocator, ShardedKernel, ValuationKernel
+from repro.core.greedy import normalize_fused
+from repro.core.monitoring import RegionMonitoringController
+from repro.queries import (
+    AggregateQueryWorkload,
+    BatchGainState,
+    EventSlotQuery,
+    GainBlock,
+    MultiSensorPointQuery,
+    PointQuery,
+    SensorRoster,
+    SpatialAggregateQuery,
+    TrajectoryQuery,
+    TrajectoryQueryWorkload,
+    gain_block_trusted,
+    resolve_batch_state,
+)
+from repro.queries.aggregate import _CoverageBatch, _CoverageState
+from repro.sensors import AnnouncementBatch
+from repro.spatial import (
+    AreaCoverage,
+    Location,
+    Region,
+    Trajectory,
+    TrajectoryCoverage,
+    WeightedCoverage,
+    WorldRaster,
+    get_raster,
+)
+
+SIDE = 60.0
+
+
+def random_sensors(rng, n=120, side=SIDE):
+    return [
+        make_snapshot(
+            i,
+            x=float(rng.uniform(0, side)),
+            y=float(rng.uniform(0, side)),
+            cost=float(rng.uniform(1, 10)),
+            inaccuracy=float(rng.uniform(0, 0.3)),
+            trust=float(rng.uniform(0.4, 1.0)),
+        )
+        for i in range(n)
+    ]
+
+
+def make_batch(rng, n=120, side=SIDE):
+    return AnnouncementBatch(
+        ids=np.arange(n, dtype=np.intp),
+        xy=rng.uniform(0, side, size=(n, 2)),
+        costs=rng.uniform(1, 10, size=n),
+        gamma=rng.uniform(0, 0.3, size=n),
+        trust=rng.uniform(0.4, 1.0, size=n),
+        token=("fused-parity", int(rng.integers(1 << 30))),
+        clock=0,
+    )
+
+
+def region_heavy_queries(rng, side=SIDE):
+    """Overlapping aggregate + trajectory queries, the fused block's
+    target workload."""
+    region = Region.from_origin(side, side)
+    agg = AggregateQueryWorkload(
+        region, budget_factor=6.0, mean_queries=8, count_spread=2,
+        sensing_range=9.0, coverage_radius=4.0, min_side=12.0, max_side=26.0,
+    )
+    traj = TrajectoryQueryWorkload(
+        region, budget_factor=6.0, queries_per_slot=3, sensing_range=8.0
+    )
+    return agg.generate(0, rng) + traj.generate(0, rng)
+
+
+def every_type_queries(rng, copies=3, side=SIDE):
+    """Several queries of every built-in type, so each fused block carries
+    multiple members."""
+    region = Region.from_origin(side, side)
+    queries = []
+    for _ in range(copies):
+        sub = Region.random_subregion(region, rng, min_side=8, max_side=20)
+        trajectory = Trajectory.random(region, rng)
+        p = (float(rng.uniform(5, side - 5)), float(rng.uniform(5, side - 5)))
+        queries += [
+            PointQuery(Location(*p), budget=15.0, dmax=9.0),
+            MultiSensorPointQuery(
+                Location(p[0] + 2.0, p[1] - 2.0), budget=25.0,
+                n_readings=3, dmax=10.0,
+            ),
+            SpatialAggregateQuery(
+                sub, budget=40.0, sensing_range=7.0, coverage_radius=3.5
+            ),
+            SpatialAggregateQuery(
+                sub, budget=35.0, sensing_range=7.0,
+                coverage=WeightedCoverage(sub, 3.5, weight_fn=lambda c: 1.0 + c.x),
+            ),
+            TrajectoryQuery(trajectory, budget=35.0, sensing_range=6.0),
+            EventSlotQuery(
+                Location(p[0] - 3.0, p[1] + 3.0), budget=20.0,
+                required_confidence=0.9, theta_min=0.1, dmax=8.0,
+                parent_id="ev-parent",
+            ),
+        ]
+    return queries
+
+
+def assert_allocations_identical(a, b):
+    """Exact (bitwise) equality of two allocation results."""
+    assert a.assignments == b.assignments
+    assert set(a.selected) == set(b.selected)
+    assert a.values == b.values
+    assert a.payments == b.payments
+
+
+# ----------------------------------------------------------------------
+# fused vs per-row allocations: every type, dense and sharded
+# ----------------------------------------------------------------------
+class TestFusedAllocationParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_region_heavy_fused_equals_masked_dense_and_sharded(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        queries = region_heavy_queries(rng)
+        sensors = random_sensors(rng)
+        masked = GreedyAllocator(fused=False).allocate(
+            queries, sensors, kernel=ValuationKernel.from_sensors(sensors)
+        )
+        fused = GreedyAllocator(fused="auto").allocate(
+            queries, sensors, kernel=ValuationKernel.from_sensors(sensors)
+        )
+        sharded = GreedyAllocator(fused="auto").allocate(
+            queries, sensors,
+            kernel=ShardedKernel.from_sensors(sensors, cell_size=8.0),
+        )
+        assert_allocations_identical(fused, masked)
+        assert_allocations_identical(sharded, masked)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_builtin_type_fused_equals_masked(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        queries = every_type_queries(rng)
+        sensors = random_sensors(rng)
+        masked = GreedyAllocator(fused=False).allocate(
+            queries, sensors, kernel=ValuationKernel.from_sensors(sensors)
+        )
+        fused = GreedyAllocator(fused="auto").allocate(
+            queries, sensors, kernel=ValuationKernel.from_sensors(sensors)
+        )
+        sharded = GreedyAllocator(fused="auto").allocate(
+            queries, sensors,
+            kernel=ShardedKernel.from_sensors(sensors, cell_size=9.0),
+        )
+        assert_allocations_identical(fused, masked)
+        assert_allocations_identical(sharded, masked)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_batch_announcements_share_the_raster_and_stay_identical(self, seed):
+        rng = np.random.default_rng(3000 + seed)
+        queries = region_heavy_queries(rng)
+        batch = make_batch(rng)
+        masked = GreedyAllocator(fused=False).allocate(
+            queries, batch, kernel=ValuationKernel.from_sensors(batch)
+        )
+        kernel = ValuationKernel.from_sensors(batch)
+        fused = GreedyAllocator(fused="auto").allocate(queries, batch, kernel=kernel)
+        assert_allocations_identical(fused, masked)
+        # The raster the kernel used is the batch-attached instance.
+        assert kernel.raster is get_raster(batch, batch.xy)
+
+    def test_normalize_fused(self):
+        assert normalize_fused(None) == "auto"
+        assert normalize_fused(True) == "auto"
+        assert normalize_fused("auto") == "auto"
+        assert normalize_fused(False) is False
+        with pytest.raises(ValueError):
+            normalize_fused("sometimes")
+        assert GreedyAllocator().fused == "auto"
+        assert GreedyAllocator(fused=False).fused is False
+
+
+# ----------------------------------------------------------------------
+# world raster: CSR coverage rows vs dense masks, containment caches
+# ----------------------------------------------------------------------
+class TestWorldRasterRows:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coverage_rows_match_dense_masks(self, seed):
+        rng = np.random.default_rng(4000 + seed)
+        xy = rng.uniform(-5, SIDE + 5, size=(80, 2))  # includes out-of-region
+        raster = WorldRaster(xy)
+        region = Region.random_subregion(
+            Region.from_origin(SIDE, SIDE), rng, min_side=8, max_side=24
+        )
+        trajectory = Trajectory.random(Region.from_origin(SIDE, SIDE), rng)
+        functions = [
+            AreaCoverage(region, sensing_range=5.0),
+            WeightedCoverage(region, 5.0, weight_fn=lambda c: 1.0 + c.y),
+            TrajectoryCoverage(trajectory, sensing_range=4.0, spacing=1.5),
+        ]
+        cols = np.sort(rng.choice(len(xy), size=50, replace=False))
+        for fn in functions:
+            indptr, cells = raster.coverage_rows(fn, cols)
+            masks = fn.masks_for(xy[cols])
+            for i in range(len(cols)):
+                row = cells[indptr[i]:indptr[i + 1]]
+                expected = np.flatnonzero(masks[i])
+                assert np.array_equal(row, expected), type(fn).__name__
+            # Cached and read-only.
+            again = raster.coverage_rows(fn, cols)
+            assert again[0] is indptr and again[1] is cells
+            assert not indptr.flags.writeable and not cells.flags.writeable
+
+    def test_subclassed_coverage_uses_the_dense_fallback(self):
+        """The grid fast path trusts exact types only; a subclass that
+        re-rasterizes arbitrarily still gets correct rows."""
+
+        class SparseCoverage(AreaCoverage):
+            def masks_for(self, locations):
+                masks = super().masks_for(locations)
+                masks[:, ::2] = False  # drop every even cell
+                return masks
+
+        rng = np.random.default_rng(77)
+        xy = rng.uniform(0, 30, size=(40, 2))
+        raster = WorldRaster(xy)
+        fn = SparseCoverage(Region.from_origin(30, 30), sensing_range=6.0)
+        cols = np.arange(40)
+        indptr, cells = raster.coverage_rows(fn, cols)
+        masks = fn.masks_for(xy)
+        for i in range(len(cols)):
+            assert np.array_equal(
+                cells[indptr[i]:indptr[i + 1]], np.flatnonzero(masks[i])
+            )
+        assert cells.size and np.all(cells % 2 == 1)
+
+    def test_containment_caches_and_sharing(self):
+        rng = np.random.default_rng(88)
+        batch = make_batch(rng, n=60)
+        region = Region(10, 10, 40, 35)
+        kernel = ValuationKernel.from_sensors(batch)
+        raster = kernel.raster
+        # One instance per announcement batch, shared with the sharded
+        # kernel and the monitoring controllers.
+        assert raster is get_raster(batch, batch.xy)
+        assert ShardedKernel.from_sensors(batch, cell_size=10.0).raster is raster
+        ext = raster.exterior_distance_sq(region)
+        assert raster.exterior_distance_sq(region) is ext
+        assert np.array_equal(ext, region.exterior_distance_sq(batch.xy))
+        contains = raster.contains_mask(region)
+        assert raster.contains_mask(region) is contains
+        assert np.array_equal(contains, region.contains_many(batch.xy))
+        assert not ext.flags.writeable and not contains.flags.writeable
+
+    def test_region_controller_counts_unchanged(self):
+        """`region_counts` through the raster equals the per-query
+        relevant_mask scan it replaced."""
+        from repro.datasets import build_intel_scenario
+        from repro.queries import RegionMonitoringQuery
+
+        rng = np.random.default_rng(99)
+        sensors = random_sensors(rng, n=50, side=40.0)
+        world = build_intel_scenario(9, n_sensors=10, n_slots=5)
+        queries = [
+            RegionMonitoringQuery(
+                region=Region.random_subregion(
+                    Region.from_origin(40.0, 40.0), rng, min_side=8, max_side=20
+                ),
+                t1=0, t2=9, budget=30.0, gp=world.gp,
+            )
+            for _ in range(4)
+        ]
+        controller = RegionMonitoringController()
+        counts = controller.region_counts(queries, sensors, t=0)
+        xy = np.asarray([(s.location.x, s.location.y) for s in sensors])
+        expected = np.zeros(len(sensors), dtype=np.int64)
+        for q in queries:
+            expected += q.relevant_mask(xy)
+        assert counts == {
+            s.sensor_id: int(k) for s, k in zip(sensors, expected)
+        }
+
+
+# ----------------------------------------------------------------------
+# the fallback lattice: overrides route out of the fused path
+# ----------------------------------------------------------------------
+class TestFallbackLattice:
+    def test_builtin_blocks_are_trusted(self):
+        from repro.queries.aggregate import _CoverageBatch
+        from repro.queries.event import _EventBatch
+        from repro.queries.point import _BestSensorBatch, _TopKBatch
+
+        for cls in (_CoverageBatch, _EventBatch, _BestSensorBatch, _TopKBatch):
+            assert gain_block_trusted(cls), cls.__name__
+
+    def test_gain_many_override_distrusts_the_inherited_block(self):
+        class RowOverride(_CoverageBatch):
+            def gain_many(self, indices):
+                return super().gain_many(indices)
+
+        assert not gain_block_trusted(RowOverride)
+
+        class RowAndBlockOverride(RowOverride):
+            @classmethod
+            def block(cls, members):
+                return GainBlock(members)
+
+        assert gain_block_trusted(RowAndBlockOverride)
+
+    def test_scalar_gain_override_distrusts_the_inherited_batch(self):
+        class ScalarOverride(_CoverageState):
+            def gain(self, snapshot):
+                return super().gain(snapshot)
+
+        rng = np.random.default_rng(5)
+        sensors = random_sensors(rng, n=10, side=20.0)
+        query = SpatialAggregateQuery(
+            Region(2, 2, 15, 15), budget=20.0, sensing_range=5.0
+        )
+        roster = SensorRoster(sensors)
+        generic = resolve_batch_state(ScalarOverride(query), roster)
+        assert type(generic) is BatchGainState
+        native = resolve_batch_state(_CoverageState(query), roster)
+        assert type(native) is _CoverageBatch
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_gain_many_override_is_honoured_end_to_end(self, seed):
+        """Aggregate queries whose batch state overrides only ``gain_many``
+        must be evaluated through it (generic row-looping GainBlock), with
+        allocations identical to the per-row path."""
+        calls = []
+
+        class TracingBatch(_CoverageBatch):
+            def gain_many(self, indices):
+                calls.append(len(indices))
+                return super().gain_many(indices)
+
+        class TracingState(_CoverageState):
+            def batch(self, roster):
+                return TracingBatch(self, roster)
+
+        class TracingAggregate(SpatialAggregateQuery):
+            def new_state(self):
+                return TracingState(self)
+
+        rng = np.random.default_rng(6000 + seed)
+        sensors = random_sensors(rng, n=90, side=40.0)
+        world = Region.from_origin(40.0, 40.0)
+        queries = [
+            TracingAggregate(
+                Region.random_subregion(world, rng, min_side=10, max_side=20),
+                budget=45.0, sensing_range=7.0, coverage_radius=3.5,
+            )
+            for _ in range(5)
+        ]
+        fused = GreedyAllocator(fused="auto").allocate(queries, sensors)
+        assert calls, "override was never routed through"
+        fused_calls = len(calls)
+        calls.clear()
+        masked = GreedyAllocator(fused=False).allocate(queries, sensors)
+        assert calls, "per-row path must call gain_many too"
+        assert fused_calls and len(calls)
+        assert_allocations_identical(fused, masked)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_scalar_gain_override_is_honoured_end_to_end(self, seed):
+        """A valuation state overriding only scalar ``gain`` is batched via
+        the generic per-snapshot BatchGainState, fused or not."""
+        calls = []
+
+        class ScalarTracingState(_CoverageState):
+            def gain(self, snapshot):
+                calls.append(snapshot.sensor_id)
+                return super().gain(snapshot)
+
+        class ScalarTracingAggregate(SpatialAggregateQuery):
+            def new_state(self):
+                return ScalarTracingState(self)
+
+        rng = np.random.default_rng(7000 + seed)
+        sensors = random_sensors(rng, n=60, side=40.0)
+        world = Region.from_origin(40.0, 40.0)
+        sub = Region.random_subregion(world, rng, min_side=10, max_side=20)
+        traced = [
+            ScalarTracingAggregate(
+                sub, budget=45.0, sensing_range=7.0, coverage_radius=3.5,
+                query_id=f"trace-{i}",
+            )
+            for i in range(3)
+        ]
+        plain = [
+            SpatialAggregateQuery(
+                sub, budget=45.0, sensing_range=7.0, coverage_radius=3.5,
+                query_id=f"trace-{i}",
+            )
+            for i in range(3)
+        ]
+        fused = GreedyAllocator(fused="auto").allocate(traced, sensors)
+        assert calls, "scalar override was never routed through"
+        reference = GreedyAllocator(fused="auto").allocate(plain, sensors)
+        # Aggregate scalar and batch gains share one arithmetic path, so
+        # the traced slot must still allocate identically.
+        assert_allocations_identical(fused, reference)
+
+
+# ----------------------------------------------------------------------
+# _recompute_net: one-pass cumsum vs the sequential reference
+# ----------------------------------------------------------------------
+class TestRecomputeNet:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_sequential_sum_bitwise(self, seed):
+        rng = np.random.default_rng(8000 + seed)
+        n_queries, n = 37, 53
+        gain_matrix = rng.uniform(0.0, 1.0, size=(n_queries, n))
+        # Adversarial magnitudes: summation order matters.
+        gain_matrix *= 10.0 ** rng.integers(-12, 12, size=(n_queries, n))
+        gain_matrix[rng.random((n_queries, n)) < 0.6] = 0.0
+        gain_matrix[rng.choice(n_queries, size=10)] = 0.0  # whole zero rows
+        costs = rng.uniform(0.5, 5.0, size=n)
+        columns = np.sort(rng.choice(n, size=30, replace=False))
+        net = np.zeros(n)
+        GreedyAllocator._recompute_net(gain_matrix, costs, columns, net)
+        for j in columns:
+            total = 0.0
+            for i in range(n_queries):
+                g = gain_matrix[i, j]
+                if g != 0.0:
+                    total += g
+            assert net[j] == total - costs[j]
+
+    def test_all_zero_columns(self):
+        gain_matrix = np.zeros((4, 6))
+        costs = np.arange(6, dtype=float) + 1.0
+        net = np.full(6, np.nan)
+        GreedyAllocator._recompute_net(
+            gain_matrix, costs, np.arange(6), net
+        )
+        assert np.array_equal(net, -costs)
