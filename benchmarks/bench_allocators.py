@@ -37,7 +37,7 @@ from repro.core import (
     ShardedKernel,
     ValuationKernel,
 )
-from repro.mobility import RandomWaypointMobility
+from repro.mobility import ChurnMobility, RandomWaypointMobility
 from repro.queries import (
     AggregateQueryWorkload,
     PointQueryWorkload,
@@ -517,4 +517,91 @@ def test_batch_cold_slot_speedup():
         f"batch cold slot ({min(fast)*1e3:.2f} ms) must be >= 15x the "
         f"object walk ({min(slow)*1e3:.1f} ms) at 20k sensors; got "
         f"{speedup:.2f}x"
+    )
+
+
+def test_incremental_warm_slot_speedup():
+    """Hard floor: the differential slot state — delta announce, patched
+    sharded kernel, spliced raster relevance/coverage for a standing
+    aggregate workload — must make a warm slot >= 5x faster than the full
+    per-slot rebuild at 20k sensors with ~1% churn, with exactly identical
+    (``==``) allocations and payments on every measured slot."""
+    region = Region.from_origin(400.0, 400.0)
+
+    def make_fleet():
+        rng = np.random.default_rng(2013)
+        return SensorFleet(
+            ChurnMobility(region, 20000, rng, fraction=0.01),
+            region,
+            FleetConfig(),
+            rng,
+        )
+
+    fleet_full, fleet_inc = make_fleet(), make_fleet()
+    queries = AggregateQueryWorkload(
+        region, budget_factor=2.5, mean_queries=64, count_spread=0,
+        sensing_range=10.0, coverage_radius=5.0, min_side=24.0, max_side=48.0,
+    ).generate(0, np.random.default_rng(7))
+
+    def touch(kernel):
+        """The slot's raster relevance + coverage materialization for the
+        standing queries — the rebuild-vs-splice workload under test."""
+        raster = kernel.raster
+        for q in queries:
+            d2 = raster.exterior_distance_sq(q.region)
+            cols = np.flatnonzero(d2 <= q.sensing_range * q.sensing_range)
+            raster.coverage_rows(q.coverage, cols)
+
+    def full_slot(kernel):
+        batch = fleet_full.announcements()
+        kernel = ShardedKernel.ensure(kernel, batch)
+        touch(kernel)
+        return kernel
+
+    def incremental_slot(kernel):
+        batch, delta = fleet_inc.announcements_with_delta()
+        kernel = ShardedKernel.ensure_delta(kernel, batch, delta)
+        touch(kernel)
+        return kernel
+
+    # Slot 0 (cold, untimed) warms both sides identically.
+    kernel_full = full_slot(None)
+    kernel_inc = incremental_slot(None)
+    allocator = GreedyAllocator(verify=False)
+
+    fast, slow = [], []
+    for t in range(4):
+        fleet_full.advance()
+        fleet_inc.advance()
+        start = time.perf_counter()
+        kernel_full = full_slot(kernel_full)
+        slow.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        kernel_inc = incremental_slot(kernel_inc)
+        fast.append(time.perf_counter() - start)
+        # Bit-identical allocations every measured slot (untimed).
+        a = allocator.allocate(queries, kernel_full.sensors, kernel=kernel_full)
+        b = allocator.allocate(queries, kernel_inc.sensors, kernel=kernel_inc)
+        assert a.assignments == b.assignments
+        assert set(a.selected) == set(b.selected)
+        assert a.values == b.values
+        assert a.payments == b.payments
+
+    _record_case(
+        "warm_slot_incremental_64x20000",
+        statistics.mean(fast), statistics.stdev(fast), len(fast),
+    )
+    _record_case(
+        "warm_slot_rebuild_64x20000",
+        statistics.mean(slow), statistics.stdev(slow), len(slow),
+    )
+    speedup = min(slow) / min(fast)
+    print(
+        f"\nwarm slot 20000 sensors @1% churn: rebuild {min(slow)*1e3:.1f} ms, "
+        f"incremental {min(fast)*1e3:.1f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"incremental warm slot ({min(fast)*1e3:.1f} ms) must be >= 5x the "
+        f"full rebuild ({min(slow)*1e3:.1f} ms) at 20k sensors / 1% churn; "
+        f"got {speedup:.2f}x"
     )

@@ -6,6 +6,7 @@ Usage::
     python -m repro figures --all --scale paper --out results/
     python -m repro scenario --example > myspec.json
     python -m repro scenario myspec.json --slots 20
+    python -m repro replay myspec.json --csv replay.csv
     python -m repro demo
     python -m repro info
 """
@@ -66,8 +67,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override the spec's fused gain-block pipeline: "
                                "'off' or 'auto' (allocations are bit-identical "
                                "either way)")
+    scenario.add_argument("--incremental", default=None, metavar="MODE",
+                          help="override the spec's incremental slot state: "
+                               "'off' or 'auto' (allocations are "
+                               "bit-identical either way)")
+    scenario.add_argument("--profile", action="store_true",
+                          help="print a per-slot phase-timing breakdown "
+                               "(announce / kernel / allocate / settle)")
     scenario.add_argument("--out", default=None,
                           help="write per-spec summary JSON files here")
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a spec against full-rebuild vs incremental engines "
+             "and assert bit-identical allocations",
+    )
+    replay.add_argument("spec", nargs="+",
+                        help="path(s) to ScenarioSpec JSON files")
+    replay.add_argument("--slots", type=int, default=None,
+                        help="override the spec's n_slots")
+    replay.add_argument("--csv", default=None, metavar="PATH",
+                        help="write the per-slot latency/churn/parity CSV "
+                             "here (per spec; multiple specs get a "
+                             "-<name> suffix)")
 
     sub.add_parser("demo", help="run the quickstart comparison")
     sub.add_parser("info", help="print version and available figures")
@@ -151,6 +173,26 @@ def _parse_fused(value: str | None):
         raise SystemExit(2)
 
 
+def _parse_incremental(value: str | None):
+    """CLI incremental override: 'off' -> full per-slot rebuilds,
+    'on'/'auto' -> differential slot state.  The resulting value goes
+    through the shared ``normalize_incremental`` validation."""
+    if value is None:
+        return None
+    from .core.engine import normalize_incremental
+
+    lowered = value.lower()
+    try:
+        if lowered in ("off", "none", "false"):
+            return normalize_incremental(False)
+        if lowered in ("on", "true", "auto"):
+            return normalize_incremental("auto")
+        raise ValueError(value)
+    except ValueError:
+        print(f"invalid --incremental value {value!r}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _run_scenario(args: argparse.Namespace) -> int:
     from .datasets import ScenarioSpec
 
@@ -167,6 +209,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
 
     sharding_override = _parse_sharding(args.sharding)
     fused_override = _parse_fused(args.fused)
+    incremental_override = _parse_incremental(args.incremental)
     for path in args.spec:
         try:
             spec = ScenarioSpec.from_json(path)
@@ -174,12 +217,19 @@ def _run_scenario(args: argparse.Namespace) -> int:
                 spec = dataclasses.replace(spec, sharding=sharding_override)
             if args.fused is not None:
                 spec = dataclasses.replace(spec, fused=fused_override)
+            if args.incremental is not None:
+                spec = dataclasses.replace(spec, incremental=incremental_override)
         except (OSError, ValueError, TypeError) as exc:
             print(f"error loading {path}: {exc}", file=sys.stderr)
             return 2
         n_slots = args.slots if args.slots is not None else spec.n_slots
         try:
-            summary = spec.run(n_slots)
+            if args.profile:
+                engine = spec.build()
+                engine.profile = True
+                summary = engine.run(n_slots)
+            else:
+                summary = spec.run(n_slots)
         except (ValueError, TypeError, ReproError) as exc:
             # mis-declared spec: rm without intel, bad workload params,
             # allocator/stream mismatch the static checks can't see, ...
@@ -192,6 +242,21 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print(f"  egalitarian      : {summary.egalitarian_ratio:10.1%}")
         for label in sorted(summary.quality_stats):
             print(f"  quality[{label:<20}]: {summary.average_quality(label):7.3f}")
+        if args.profile:
+            from .core.engine import PHASES
+
+            header = "  slot  " + "".join(f"{p:>12}" for p in PHASES)
+            print(header)
+            for r in summary.slots:
+                cells = "".join(
+                    f"{r.extras.get(f't_{p}', 0.0) * 1e3:10.2f}ms" for p in PHASES
+                )
+                print(f"  {r.slot:>4}  {cells}")
+            totals = "".join(
+                f"{sum(r.extras.get(f't_{p}', 0.0) for r in summary.slots) * 1e3:10.2f}ms"
+                for p in PHASES
+            )
+            print(f"  {'sum':>4}  {totals}")
         if out_dir:
             payload = {
                 "spec": spec.to_dict(),
@@ -216,6 +281,41 @@ def _run_scenario(args: argparse.Namespace) -> int:
                 ],
             }
             (out_dir / f"{spec.name}.json").write_text(json.dumps(payload, indent=2))
+    return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from .core import ReproError
+    from .datasets import ScenarioSpec
+    from .experiments import replay_spec
+
+    broken = 0
+    for path in args.spec:
+        try:
+            spec = ScenarioSpec.from_json(path)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"error loading {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            report = replay_spec(spec, args.slots)
+        except (ValueError, TypeError, ReproError) as exc:
+            print(f"error replaying {spec.name}: {exc}", file=sys.stderr)
+            return 2
+        print(report.format())
+        if args.csv:
+            target = Path(args.csv)
+            if len(args.spec) > 1:
+                target = target.with_name(
+                    f"{target.stem}-{spec.name}{target.suffix or '.csv'}"
+                )
+            target.parent.mkdir(parents=True, exist_ok=True)
+            report.write_csv(target)
+            print(f"  wrote {target}")
+        if not report.parity:
+            broken += 1
+    if broken:
+        print(f"{broken} spec(s) broke allocation parity", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -257,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "figures":
         return _run_figures(args)
+    if args.command == "replay":
+        return _run_replay(args)
     if args.command == "scenario":
         return _run_scenario(args)
     if args.command == "demo":

@@ -13,6 +13,7 @@ from .engine import (
     RegionMonitoringStream,
     SequentialBufferedAllocation,
     SlotEngine,
+    normalize_incremental,
     event_detection_engine,
     location_monitoring_engine,
     mix_engine,
@@ -34,7 +35,7 @@ from .payments import proportionate_shares, redistribute_contribution
 from .point_problem import PointProblem
 from .sampling import SamplingPlan, paper_weight_function, plan_sampling
 from .sharding import FleetShard, ShardedKernel, normalize_sharding, resolve_cell_size
-from .valuation import ValuationKernel
+from .valuation import ValuationKernel, delta_old_to_new
 from .simulation import (
     LocationMonitoringSimulation,
     MixSimulation,
@@ -69,7 +70,9 @@ __all__ = [
     "ShardedKernel",
     "FleetShard",
     "normalize_sharding",
+    "normalize_incremental",
     "resolve_cell_size",
+    "delta_old_to_new",
     "SlotEngine",
     "QueryStream",
     "OneShotStream",

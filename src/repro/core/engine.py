@@ -40,6 +40,7 @@ the declarative layer on top.
 from __future__ import annotations
 
 import abc
+import time
 from typing import Iterable, Protocol, Sequence
 
 import numpy as np
@@ -71,6 +72,7 @@ __all__ = [
     "JointSlotAllocation",
     "SequentialBufferedAllocation",
     "SlotEngine",
+    "normalize_incremental",
     "quality_of",
     "call_allocator",
     "one_shot_engine",
@@ -82,6 +84,26 @@ __all__ = [
 
 #: Retirement timestamp that expires every continuous query (end-of-run flush).
 FLUSH_SLOT = 10**9
+
+#: The engine's per-slot phase labels, in protocol order (profiling/replay).
+PHASES = ("announce", "kernel", "allocate", "settle")
+
+
+def normalize_incremental(setting) -> "bool | str":
+    """Canonicalize an incremental-slot-state knob value.
+
+    ``None``/``False`` → ``False`` (full per-slot rebuilds, the historical
+    behavior); ``True``/``"auto"`` → ``"auto"`` (differential announce +
+    kernel/raster/index patching, bit-identical allocations).  Anything
+    else raises ``ValueError`` — the engine,
+    :class:`~repro.datasets.ScenarioSpec` and the CLI all validate through
+    here, mirroring :func:`~repro.core.sharding.normalize_sharding`.
+    """
+    if setting is None or setting is False:
+        return False
+    if setting is True or setting == "auto":
+        return "auto"
+    raise ValueError(f"unknown incremental setting {setting!r}")
 
 
 def quality_of(query: Query, value: float) -> float:
@@ -619,6 +641,21 @@ class SlotEngine:
             ``"auto"`` enables type-blocked fused refreshes, ``False``
             forces the per-row batch path.  Fused allocations are
             bit-identical either way; the knob exists for benchmarking.
+        incremental: maintain slot state differentially
+            (:func:`normalize_incremental`): ``None``/``False`` rebuilds
+            announcements, kernels and rasters from scratch each slot;
+            ``True``/``"auto"`` uses the fleet's
+            :meth:`~repro.sensors.SensorFleet.announcements_with_delta`
+            and the kernels' ``ensure_delta`` so per-slot work is
+            proportional to churn (moved/exhausted/repriced sensors), not
+            fleet size.  Allocations and payments are bit-identical either
+            way — the replay harness (``repro replay``) asserts it.
+
+    Each :meth:`step` also records its phase wall-times in
+    :attr:`last_timings` (``{phase: seconds}`` over :data:`PHASES`) and the
+    announce delta in :attr:`last_delta`; setting :attr:`profile` to True
+    additionally copies the timings into the slot record's extras as
+    ``t_<phase>`` (the ``repro scenario --profile`` path).
     """
 
     def __init__(
@@ -632,6 +669,7 @@ class SlotEngine:
         use_kernel: bool = True,
         sharding: float | bool | str | None = None,
         fused: bool | str | None = None,
+        incremental: bool | str | None = None,
     ) -> None:
         if not streams:
             raise ValueError("SlotEngine needs at least one query stream")
@@ -659,6 +697,11 @@ class SlotEngine:
                 allocator = getattr(self.allocation, attr, None)
                 if allocator is not None and hasattr(allocator, "fused"):
                     allocator.fused = self.fused
+        self.incremental = normalize_incremental(incremental)
+        self.profile = False
+        self.last_timings: dict[str, float] = {}
+        self.last_delta = None
+        self.last_result: AllocationResult | None = None
         self._kernel: ValuationKernel | None = None
 
     def stream(self, kind: str) -> QueryStream:
@@ -692,8 +735,18 @@ class SlotEngine:
         # The fleet announces as an AnnouncementBatch: stacked arrays plus
         # a lazy Sequence[SensorSnapshot] view, so the batch threads
         # through streams/allocators unchanged while the kernel build
-        # below adopts the arrays zero-copy (no per-sensor loop).
-        sensors = self.fleet.announcements()
+        # below adopts the arrays zero-copy (no per-sensor loop).  The
+        # incremental path splices the batch from the previous slot's and
+        # hands the SlotDelta to the kernels so rasters and shard indexes
+        # patch instead of rebuilding — bit-identical allocations either
+        # way.
+        t0 = time.perf_counter()
+        if self.incremental:
+            sensors, delta = self.fleet.announcements_with_delta()
+        else:
+            sensors, delta = self.fleet.announcements(), None
+        self.last_delta = delta
+        t1 = time.perf_counter()
         # Consecutive slots with unchanged announcements (stationary fleets,
         # replayed traces with sleeping sensors) reuse the previous slot's
         # kernel: the batch's version stamp makes the check O(1) either
@@ -703,13 +756,23 @@ class SlotEngine:
         if not self.use_kernel:
             kernel = None
         elif self.sharding:
-            kernel = ShardedKernel.ensure(
-                self._kernel, sensors, cell_size=self.shard_cell_size
-            )
+            if self.incremental:
+                kernel = ShardedKernel.ensure_delta(
+                    self._kernel, sensors, delta, cell_size=self.shard_cell_size
+                )
+            else:
+                kernel = ShardedKernel.ensure(
+                    self._kernel, sensors, cell_size=self.shard_cell_size
+                )
+        elif self.incremental:
+            kernel = ValuationKernel.ensure_delta(self._kernel, sensors, delta)
         else:
             kernel = ValuationKernel.ensure(self._kernel, sensors)
         self._kernel = kernel
+        t2 = time.perf_counter()
         result = self.allocation.run(t, self.streams, sensors, kernel)
+        self.last_result = result
+        t3 = time.perf_counter()
         record = SlotRecord(slot=t, cost=result.total_cost)
         for stream in sorted(self.streams, key=lambda s: s.settle_rank):
             stream.settle(t, result, record, summary)
@@ -718,6 +781,16 @@ class SlotEngine:
         summary.slots.append(record)
         self.fleet.record_measurements(list(result.selected))
         self.fleet.advance()
+        t4 = time.perf_counter()
+        self.last_timings = {
+            "announce": t1 - t0,
+            "kernel": t2 - t1,
+            "allocate": t3 - t2,
+            "settle": t4 - t3,
+        }
+        if self.profile:
+            for phase, seconds in self.last_timings.items():
+                record.extras[f"t_{phase}"] = seconds
         return record
 
 
@@ -725,7 +798,7 @@ class SlotEngine:
 # engine factories for the four canonical experiment families
 # ----------------------------------------------------------------------
 def one_shot_engine(
-    fleet, workload, allocator, rng, *, sharding=None, fused=None
+    fleet, workload, allocator, rng, *, sharding=None, fused=None, incremental=None
 ) -> SlotEngine:
     """Figures 2-7: a stream of one-shot (point or aggregate) queries."""
     return SlotEngine(
@@ -735,11 +808,13 @@ def one_shot_engine(
         rng,
         sharding=sharding,
         fused=fused,
+        incremental=incremental,
     )
 
 
 def location_monitoring_engine(
-    fleet, workload, point_allocator, rng, controller=None, *, sharding=None, fused=None
+    fleet, workload, point_allocator, rng, controller=None, *,
+    sharding=None, fused=None, incremental=None
 ) -> SlotEngine:
     """Figure 8: continuous location-monitoring queries."""
     return SlotEngine(
@@ -749,11 +824,13 @@ def location_monitoring_engine(
         rng,
         sharding=sharding,
         fused=fused,
+        incremental=incremental,
     )
 
 
 def region_monitoring_engine(
-    fleet, workload, point_allocator, rng, controller=None, *, sharding=None, fused=None
+    fleet, workload, point_allocator, rng, controller=None, *,
+    sharding=None, fused=None, incremental=None
 ) -> SlotEngine:
     """Figure 9: continuous region-monitoring queries over a GP field."""
     return SlotEngine(
@@ -763,11 +840,13 @@ def region_monitoring_engine(
         rng,
         sharding=sharding,
         fused=fused,
+        incremental=incremental,
     )
 
 
 def event_detection_engine(
-    fleet, workload, point_allocator, rng, *, phenomenon=None, sharding=None, fused=None
+    fleet, workload, point_allocator, rng, *,
+    phenomenon=None, sharding=None, fused=None, incremental=None
 ) -> SlotEngine:
     """Event-detection extension: redundant-sampling slot queries."""
     return SlotEngine(
@@ -777,6 +856,7 @@ def event_detection_engine(
         rng,
         sharding=sharding,
         fused=fused,
+        incremental=incremental,
     )
 
 
@@ -796,6 +876,7 @@ def mix_engine(
     stage2_allocator: Allocator | None = None,
     sharding=None,
     fused=None,
+    incremental=None,
 ) -> SlotEngine:
     """Figure 10: point + aggregate + monitoring streams in one slot cycle.
 
@@ -860,4 +941,5 @@ def mix_engine(
         verify_each_slot=True,
         sharding=sharding,
         fused=fused,
+        incremental=incremental,
     )

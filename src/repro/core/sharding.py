@@ -89,7 +89,7 @@ from ..queries import (
 from ..sensors import SensorSnapshot
 from ..spatial.index import UniformGridIndex
 from ..sensors.state import as_announcement_sequence
-from .valuation import ValuationKernel
+from .valuation import ValuationKernel, delta_old_to_new
 
 __all__ = [
     "FleetShard",
@@ -269,6 +269,61 @@ class ShardedKernel(ValuationKernel):
                     kernel._stamp = stamp
             return kernel
         return cls.from_sensors(sensors, cell_size=cell_size)
+
+    @classmethod
+    def ensure_delta(
+        cls,
+        kernel: "ValuationKernel | None",
+        batch,
+        delta,
+        cell_size: float | None = None,
+    ) -> "ShardedKernel":
+        """Differential :meth:`ensure` (see
+        :meth:`ValuationKernel.ensure_delta`): on a chained delta the new
+        kernel additionally inherits the old grid index via an incremental
+        bucket splice (:meth:`~repro.spatial.index.UniformGridIndex.updated`)
+        — shard membership is re-bucketed only for dirty sensors, under the
+        old index's frozen geometry (candidate supersets, hence
+        allocations, stay bit-identical).  The per-range shard/gather
+        caches are dropped and refill lazily against the patched index.
+        The delta's ``crossed`` rows are filled as a side effect: the
+        moved survivors whose grid bucket actually changed.
+        """
+        if isinstance(kernel, ShardedKernel) and kernel.matches(batch):
+            if batch is not kernel.sensors:
+                kernel.sensors = as_announcement_sequence(batch)
+                stamp = getattr(batch, "token", None)
+                if stamp is not None:
+                    kernel._stamp = stamp
+            return kernel
+        new = cls.from_batch(batch, cell_size=cell_size)
+        if (
+            isinstance(kernel, ShardedKernel)
+            and delta is not None
+            and delta.prev_token == kernel._stamp
+        ):
+            raster = kernel._carry_raster(batch, delta)
+            if raster is not None:
+                new._raster = raster
+            old_index = kernel._index
+            if old_index is not None:
+                old_to_new = delta_old_to_new(delta, len(kernel.sensor_xy))
+                inserted = np.asarray(delta.fresh_cols, dtype=np.intp)
+                patched = old_index.updated(batch.xy, old_to_new, inserted)
+                if patched is not None:
+                    new._index = patched
+                    moved_cols = inserted[delta.kept_src[inserted] >= 0]
+                    if moved_cols.size:
+                        old_keys = old_index.cell_keys_of(
+                            kernel.sensor_xy[delta.kept_src[moved_cols]]
+                        )
+                        new_keys = old_index.cell_keys_of(batch.xy[moved_cols])
+                        delta.crossed = np.asarray(batch.ids)[
+                            moved_cols[old_keys != new_keys]
+                        ]
+                    else:
+                        delta.crossed = np.zeros(0, dtype=np.int64)
+        return new
 
     # ------------------------------------------------------------------
     # the shard structure

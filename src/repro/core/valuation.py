@@ -46,7 +46,16 @@ from ..sensors import SensorSnapshot
 from ..sensors.state import SnapshotColumnView, as_announcement_sequence
 from ..spatial.raster import WorldRaster, get_raster
 
-__all__ = ["ValuationKernel", "announcement_token"]
+__all__ = ["ValuationKernel", "announcement_token", "delta_old_to_new"]
+
+
+def delta_old_to_new(delta, n_old: int) -> np.ndarray:
+    """Previous-batch-column → new-batch-column map of a
+    :class:`~repro.sensors.SlotDelta` (``-1`` = no longer announced)."""
+    old_to_new = np.full(n_old, -1, dtype=np.int64)
+    valid = delta.kept_src >= 0
+    old_to_new[delta.kept_src[valid]] = np.flatnonzero(valid)
+    return old_to_new
 
 
 def announcement_token(sensors: Sequence[SensorSnapshot]) -> tuple:
@@ -205,6 +214,56 @@ class ValuationKernel:
                     kernel._stamp = stamp
             return kernel
         return cls.from_sensors(sensors)
+
+    @classmethod
+    def ensure_delta(
+        cls,
+        kernel: "ValuationKernel | None",
+        batch,
+        delta,
+    ) -> "ValuationKernel":
+        """Differential :meth:`ensure`: patch forward instead of rebuilding.
+
+        ``batch``/``delta`` come from
+        :meth:`~repro.sensors.FleetState.announce_update`.  Equal stamps
+        reuse ``kernel`` outright (as :meth:`ensure`).  Otherwise a new
+        kernel adopts the new batch's arrays zero-copy — they were already
+        spliced churn-proportionally by the announce layer — and, when the
+        delta chains from exactly the batch ``kernel`` was built over, the
+        old kernel's world raster is carried forward as a patched raster
+        (containment and coverage-CSR caches refill by splicing, see
+        :meth:`~repro.spatial.WorldRaster.patched`).  Allocations computed
+        through the result are bit-identical to the full-rebuild path's.
+        """
+        if kernel is not None and kernel.matches(batch):
+            if batch is not kernel.sensors:
+                kernel.sensors = as_announcement_sequence(batch)
+                stamp = getattr(batch, "token", None)
+                if stamp is not None:
+                    kernel._stamp = stamp
+            return kernel
+        new = cls.from_batch(batch)
+        if kernel is not None and delta is not None and delta.prev_token == kernel._stamp:
+            raster = kernel._carry_raster(batch, delta)
+            if raster is not None:
+                new._raster = raster
+        return new
+
+    def _carry_raster(self, batch, delta) -> WorldRaster | None:
+        """Patch this kernel's raster onto the next batch's coordinates."""
+        raster = self._raster
+        if raster is None or raster.xy is not self.sensor_xy:
+            raster = getattr(self.sensors, "_world_raster", None)
+            if raster is None or raster.xy is not self.sensor_xy:
+                return None
+        patched = raster.patched(
+            batch.xy, delta_old_to_new(delta, len(self.sensor_xy)), delta.fresh_cols
+        )
+        try:
+            setattr(batch, "_world_raster", patched)
+        except (AttributeError, TypeError):
+            pass
+        return patched
 
     @property
     def token(self) -> tuple:

@@ -207,6 +207,20 @@ class ScenarioSpec:
             forces the per-row batch path (see
             :func:`~repro.core.greedy.normalize_fused`; allocations are
             bit-identical either way).
+        incremental: differential slot state — ``None``/``false`` rebuilds
+            announcement batches, kernels and rasters from scratch every
+            slot (the historical behavior); ``true``/``"auto"`` patches
+            them from the per-slot :class:`~repro.sensors.SlotDelta`
+            instead (see :func:`~repro.core.engine.normalize_incremental`;
+            allocations and payments are bit-identical either way).
+        mobility: optional mobility override for the world.  ``None``
+            keeps the dataset's native trace;
+            ``{"kind": "churn", "fraction": 0.01}`` replaces it with a
+            :class:`~repro.mobility.ChurnMobility` recording — a
+            near-stationary fleet where that fraction of sensors relocates
+            per slot — recorded into a replayable
+            :class:`~repro.mobility.MobilityTrace` (seeded from the world
+            seed, so it is as reproducible as the native trace).
     """
 
     name: str
@@ -222,6 +236,8 @@ class ScenarioSpec:
     fleet: dict[str, Any] = field(default_factory=dict)
     sharding: float | bool | str | None = None
     fused: bool | str | None = None
+    incremental: bool | str | None = None
+    mobility: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in ("rwm", "rnc", "intel"):
@@ -236,12 +252,25 @@ class ScenarioSpec:
             raise ValueError("a scenario needs at least one stream")
         if self.n_slots < 1:
             raise ValueError("n_slots must be >= 1")
+        from ..core.engine import normalize_incremental
         from ..core.greedy import normalize_fused
         from ..core.sharding import normalize_sharding
 
         normalize_sharding(self.sharding)  # validation only; raises on junk
         if self.fused is not None:
             normalize_fused(self.fused)  # validation only; raises on junk
+        if self.incremental is not None:
+            normalize_incremental(self.incremental)  # validation only
+        if self.mobility is not None:
+            kind = self.mobility.get("kind")
+            if kind != "churn":
+                raise ValueError(f"unknown mobility override kind {kind!r}")
+            fraction = self.mobility.get("fraction", 0.01)
+            if not 0.0 <= float(fraction) <= 1.0:
+                raise ValueError(f"churn fraction must be in [0, 1], got {fraction}")
+            extra = set(self.mobility) - {"kind", "fraction"}
+            if extra:
+                raise ValueError(f"unknown mobility fields: {sorted(extra)}")
         # Cross-field: the BILP/local-search allocators schedule single-sensor
         # point queries only (monitoring streams qualify — they emit derived
         # point queries; event streams emit EventSlotQuery sets); reject
@@ -268,7 +297,7 @@ class ScenarioSpec:
         known = {
             "name", "dataset", "seed", "workload_seed", "n_sensors", "n_slots",
             "rnc_presence", "allocator", "allocation", "fleet", "sharding",
-            "fused",
+            "fused", "incremental", "mobility",
         }
         extra = set(payload) - known
         if extra:
@@ -300,6 +329,10 @@ class ScenarioSpec:
             out["sharding"] = self.sharding
         if self.fused is not None:
             out["fused"] = self.fused
+        if self.incremental is not None:
+            out["incremental"] = self.incremental
+        if self.mobility is not None:
+            out["mobility"] = dict(self.mobility)
         return out
 
     @classmethod
@@ -376,6 +409,22 @@ class ScenarioSpec:
                 self.seed, self.n_sensors, self.n_slots, fleet_config=fleet_config
             )
             scenario, gp = world.scenario, world.gp
+
+        if self.mobility is not None:
+            from ..mobility import ChurnMobility, MobilityTrace
+
+            model = ChurnMobility(
+                scenario.trace.region,
+                self.n_sensors,
+                np.random.default_rng(self.seed),
+                fraction=float(self.mobility.get("fraction", 0.01)),
+            )
+            scenario = replace(
+                scenario,
+                trace=MobilityTrace.from_xy(
+                    scenario.trace.region, model.run_xy(self.n_slots)
+                ),
+            )
 
         region = scenario.working_region
         ozone = None
@@ -471,6 +520,7 @@ class ScenarioSpec:
             verify_each_slot=len(streams) > 1,
             sharding=self.sharding,
             fused=self.fused,
+            incremental=self.incremental,
         )
 
     def run(self, n_slots: int | None = None):

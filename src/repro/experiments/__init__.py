@@ -15,6 +15,7 @@ from .figures import (
     fig_event,
     trust_sweep,
 )
+from .replay import ReplayReport, ReplaySlot, allocation_signature, replay_spec
 from .reporting import ascii_chart, format_figure, format_metric_table
 from .robustness import ReplicatedResult, ordering_robustness, replicate
 from .runner import (
@@ -41,6 +42,10 @@ __all__ = [
     "format_figure",
     "format_metric_table",
     "ascii_chart",
+    "ReplayReport",
+    "ReplaySlot",
+    "allocation_signature",
+    "replay_spec",
     "ReplicatedResult",
     "replicate",
     "ordering_robustness",

@@ -7,8 +7,8 @@ from .nokia import (
     NokiaCampaignSynthesizer,
 )
 from .random_waypoint import RandomWaypointMobility, WaypointMobility
-from .stationary import StationaryMobility
-from .statistics import TraceStatistics, compute_statistics
+from .stationary import ChurnMobility, StationaryMobility
+from .statistics import ChurnStatistics, TraceStatistics, compute_churn, compute_statistics
 from .trace import MobilityTrace, TraceMobility
 
 __all__ = [
@@ -16,11 +16,14 @@ __all__ = [
     "RandomWaypointMobility",
     "WaypointMobility",
     "StationaryMobility",
+    "ChurnMobility",
     "MobilityTrace",
     "TraceMobility",
     "NokiaCampaignSynthesizer",
     "TraceStatistics",
     "compute_statistics",
+    "ChurnStatistics",
+    "compute_churn",
     "PAPER_RNC_REGION",
     "PAPER_RNC_WORKING_REGION",
 ]

@@ -19,9 +19,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..spatial import Region
-from .trace import MobilityTrace
+from .base import MobilityModel
+from .trace import MobilityTrace, TraceMobility
 
-__all__ = ["TraceStatistics", "compute_statistics"]
+__all__ = ["TraceStatistics", "compute_statistics", "ChurnStatistics", "compute_churn"]
 
 
 @dataclass(frozen=True)
@@ -110,4 +111,99 @@ def compute_statistics(trace: MobilityTrace, working_region: Region) -> TraceSta
         mean_dwell=mean_dwell,
         median_step=median_step,
         p90_step=p90_step,
+    )
+
+
+@dataclass(frozen=True)
+class ChurnStatistics:
+    """Per-slot movement churn of a mobility model or recorded trace.
+
+    The quantities the incremental slot-state path is proportional to:
+
+    * ``moved_fraction[t]`` — fraction of sensors whose coordinates
+      changed between slot ``t-1`` and slot ``t`` (slot 0 is 0.0 by
+      convention: there is no prior frame);
+    * ``crossing_rate[t]`` — fraction whose containing grid cell (side
+      ``cell_size``) changed, i.e. the movers that also force spatial-index
+      bucket moves and shard-membership updates.
+
+    ``crossing_rate <= moved_fraction`` holds slot by slot: a sensor can
+    move within its cell, but cannot cross cells without moving.
+    """
+
+    cell_size: float
+    moved_fraction: np.ndarray
+    crossing_rate: np.ndarray
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.moved_fraction)
+
+    @property
+    def mean_moved_fraction(self) -> float:
+        if self.n_slots <= 1:
+            return 0.0
+        return float(self.moved_fraction[1:].mean())
+
+    @property
+    def mean_crossing_rate(self) -> float:
+        if self.n_slots <= 1:
+            return 0.0
+        return float(self.crossing_rate[1:].mean())
+
+    def format(self) -> str:
+        return (
+            f"churn over {self.n_slots} slots (cell={self.cell_size:g}): "
+            f"moved={self.mean_moved_fraction:.4f} "
+            f"crossed={self.mean_crossing_rate:.4f}"
+        )
+
+
+def compute_churn(
+    model: MobilityModel | MobilityTrace,
+    n_slots: int | None = None,
+    cell_size: float = 1.0,
+) -> ChurnStatistics:
+    """Per-slot moved-sensor fraction and cell-crossing rate.
+
+    Works on any :class:`~repro.mobility.base.MobilityModel` (the model is
+    advanced ``n_slots - 1`` times) or directly on a recorded
+    :class:`~repro.mobility.trace.MobilityTrace` (``n_slots`` defaults to
+    the trace length).  The replay harness reports these next to per-slot
+    latencies so speedups can be read against the churn that produced them.
+    """
+    if cell_size <= 0:
+        raise ValueError("cell_size must be positive")
+    if isinstance(model, MobilityTrace):
+        trace = model
+        frames = [trace.frame_xy(t) for t in range(trace.n_slots)]
+        if n_slots is not None:
+            if n_slots > len(frames):
+                raise ValueError(
+                    f"trace has {len(frames)} slots, asked for {n_slots}"
+                )
+            frames = frames[:n_slots]
+    else:
+        if n_slots is None:
+            raise ValueError("n_slots is required for a live MobilityModel")
+        frames = model.run_xy(n_slots)
+    if not frames:
+        raise ValueError("need at least one slot")
+
+    n = len(frames[0])
+    moved = np.zeros(len(frames))
+    crossed = np.zeros(len(frames))
+    prev = frames[0]
+    prev_cells = np.floor(prev / cell_size).astype(np.int64)
+    for t in range(1, len(frames)):
+        cur = frames[t]
+        cells = np.floor(cur / cell_size).astype(np.int64)
+        moved[t] = (cur != prev).any(axis=1).sum() / n
+        crossed[t] = (cells != prev_cells).any(axis=1).sum() / n
+        prev, prev_cells = cur, cells
+
+    moved.setflags(write=False)
+    crossed.setflags(write=False)
+    return ChurnStatistics(
+        cell_size=float(cell_size), moved_fraction=moved, crossing_rate=crossed
     )

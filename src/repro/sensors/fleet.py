@@ -212,6 +212,17 @@ class SensorFleet:
         self._refresh_positions()
         return self._state.announce(self._clock, self._working_region)
 
+    def announcements_with_delta(self):
+        """Differential :meth:`announcements`: ``(batch, SlotDelta | None)``.
+
+        The batch is bit-identical to :meth:`announcements`; the delta
+        (``None`` on the first call) tells announcement-derived structures
+        which rows moved, exhausted, or repriced since the previous call so
+        they can patch instead of rebuild.
+        """
+        self._refresh_positions()
+        return self._state.announce_update(self._clock, self._working_region)
+
     def record_measurements(self, sensor_ids: Sequence[int]) -> None:
         """Book one reading for each selected sensor at the current slot.
 

@@ -58,6 +58,7 @@ from .sensor import SensorSnapshot
 
 __all__ = [
     "FleetState",
+    "SlotDelta",
     "AnnouncementBatch",
     "SnapshotColumnView",
     "as_announcement_sequence",
@@ -82,6 +83,87 @@ def as_announcement_sequence(sensors):
     ) is not None:
         return sensors
     return list(sensors)
+
+
+class SlotDelta:
+    """What changed between two consecutive announcements of one fleet.
+
+    Produced by :meth:`FleetState.announce_update` next to the new
+    :class:`AnnouncementBatch`.  Consumers patch announcement-derived
+    structures (kernel arrays, shard index, world raster) instead of
+    rebuilding them; every index array is expressed in *both* coordinate
+    systems a consumer might live in:
+
+    fleet-row space (``moved`` / ``crossed`` / ``exhausted`` / ``repriced``)
+        The dirty sets over ``FleetState`` rows, regardless of whether the
+        rows announced.  ``crossed`` is filled in by the spatial layer
+        (grid-cell crossings are a property of the index, not the fleet);
+        it is always a subset of ``moved``.
+
+    batch-column space (``kept_src`` / ``fresh_cols`` / ``stale_cols``)
+        ``kept_src[j]`` is the previous batch's column that new column
+        ``j`` re-uses, or ``-1`` if the sensor newly announced.
+        ``fresh_cols`` are the new-batch columns whose *geometry* cannot
+        be spliced from the previous structures (new announcers plus
+        moved survivors); ``stale_cols`` are the previous-batch columns
+        that disappeared or moved.  ``membership_changed`` is False only
+        when the two batches announce exactly the same rows in the same
+        order.
+
+    The delta never aliases mutable fleet buffers: all arrays are freshly
+    computed per announcement and safe to hold across slots.
+    """
+
+    __slots__ = (
+        "prev_token",
+        "token",
+        "moved",
+        "crossed",
+        "exhausted",
+        "repriced",
+        "kept_src",
+        "fresh_cols",
+        "stale_cols",
+        "membership_changed",
+    )
+
+    def __init__(
+        self,
+        prev_token: tuple,
+        token: tuple,
+        moved: np.ndarray,
+        exhausted: np.ndarray,
+        repriced: np.ndarray,
+        kept_src: np.ndarray,
+        fresh_cols: np.ndarray,
+        stale_cols: np.ndarray,
+        membership_changed: bool,
+    ) -> None:
+        self.prev_token = prev_token
+        self.token = token
+        self.moved = moved
+        self.crossed: np.ndarray | None = None
+        self.exhausted = exhausted
+        self.repriced = repriced
+        self.kept_src = kept_src
+        self.fresh_cols = fresh_cols
+        self.stale_cols = stale_cols
+        self.membership_changed = membership_changed
+
+    @property
+    def churn_fraction(self) -> float:
+        """Dirty announced columns over announced columns (0 when empty)."""
+        n = len(self.kept_src)
+        if n == 0:
+            return 0.0
+        return len(self.fresh_cols) / n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SlotDelta moved={len(self.moved)} exhausted={len(self.exhausted)} "
+            f"repriced={len(self.repriced)} fresh={len(self.fresh_cols)}/"
+            f"{len(self.kept_src)}>"
+        )
 
 
 class SnapshotColumnView(Sequence):
@@ -186,6 +268,16 @@ class FleetState:
         self.positions_version = 0
         self.exhaustion_version = 0
         self._uid = next(_state_uid)
+        # Dirty accumulators for the differential announce path: fleet rows
+        # that moved / were recorded / newly exhausted since the last
+        # :meth:`announce_update` consumed them.  Plain :meth:`announce`
+        # never reads or resets these, so mixing both APIs stays correct —
+        # the sets simply keep accumulating relative to ``_last_batch``.
+        self._dirty_moved = np.zeros(n, dtype=bool)
+        self._dirty_recorded = np.zeros(n, dtype=bool)
+        self._dirty_exhausted = np.zeros(n, dtype=bool)
+        self._last_batch: AnnouncementBatch | None = None
+        self._last_flagged: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # shape / identity
@@ -220,9 +312,16 @@ class FleetState:
             raise ValueError(
                 f"positions must have shape ({self.n_sensors}, 2), got {xy.shape}"
             )
-        if self.xy is None or not np.array_equal(self.xy, xy):
+        if self.xy is None:
             self.xy = xy
             self.positions_version += 1
+            self._dirty_moved[:] = True
+            return
+        changed = (self.xy != xy).any(axis=1)
+        if changed.any():
+            self.xy = xy
+            self.positions_version += 1
+            self._dirty_moved |= changed
 
     def clear_slot(self, now: int) -> None:
         """Retire the report-buffer column slot ``now`` is about to reuse."""
@@ -233,8 +332,11 @@ class FleetState:
         slot ``now``: lifetime counter plus privacy report history."""
         self.readings_taken[ids] += 1
         self._report_flags[ids, now % (self.privacy_window + 1)] = 1.0
-        if np.any(self.readings_taken[ids] >= self.lifetime[ids]):
+        self._dirty_recorded[ids] = True
+        spent = self.readings_taken[ids] >= self.lifetime[ids]
+        if np.any(spent):
             self.exhaustion_version += 1
+            self._dirty_exhausted[np.asarray(ids)[spent]] = True
 
     # ------------------------------------------------------------------
     # vectorized eq. 8 pricing
@@ -304,6 +406,136 @@ class FleetState:
             token=self.stamp + (working_region,),
             clock=now,
         )
+
+    def announce_update(
+        self, now: int, working_region: Region
+    ) -> tuple["AnnouncementBatch", "SlotDelta | None"]:
+        """Differential :meth:`announce`: the new batch plus what changed.
+
+        Produces a batch **bit-identical** to ``announce(now,
+        working_region)`` — survivors' identity columns are gathered from
+        the same state arrays, and costs are spliced (copied for rows whose
+        eq.-8 inputs did not change, recomputed for the dirty subset; the
+        subset recompute is exact because every cost term is elementwise or
+        an exact small-integer accumulation, so it cannot depend on which
+        rows ride along).  New arrays are always built; the previous batch
+        is never mutated, so kernels/rasters holding its arrays stay valid.
+
+        Returns ``(batch, None)`` when no baseline exists (first call, or
+        a different working region) — the consumer must full-rebuild.
+        """
+        prev = self._last_batch
+        if prev is None or prev.token[-1] != working_region:
+            batch = self.announce(now, working_region)
+            self._rebase(batch)
+            return batch, None
+
+        moved = np.flatnonzero(self._dirty_moved)
+        exhausted = np.flatnonzero(self._dirty_exhausted)
+        # Rows whose announced cost may differ from the previous batch:
+        # fixed energy + zero privacy -> constant; linear energy -> only
+        # recorded rows; privacy -> any row with a windowed report now or
+        # at the previous announce (the eq.-14 weights permute with the
+        # clock, so every flagged row's extra term changes slot to slot).
+        if self._any_privacy:
+            flagged = self._report_flags.any(axis=1)
+            repriced_mask = self._dirty_recorded | flagged
+            if self._last_flagged is not None:
+                repriced_mask |= self._last_flagged
+        else:
+            flagged = None
+            repriced_mask = (
+                self._dirty_recorded
+                if self.linear_energy
+                else np.zeros(self.n_sensors, dtype=bool)
+            )
+        repriced = np.flatnonzero(repriced_mask)
+
+        assert self.xy is not None
+        x, y = self.xy[:, 0], self.xy[:, 1]
+        usable = (
+            (x >= working_region.x_min)
+            & (x <= working_region.x_max)
+            & (y >= working_region.y_min)
+            & (y <= working_region.y_max)
+            & (self.readings_taken < self.lifetime)
+        )
+        idx = np.flatnonzero(usable)
+        m = len(idx)
+
+        # Column maps between the two batches (both id arrays ascending).
+        # Stable membership — the overwhelmingly common warm slot — needs
+        # no bisection at all: every column keeps its position.
+        if m == len(prev.ids) and bool(np.array_equal(idx, prev.ids)):
+            kept = np.ones(m, dtype=bool)
+            kept_src = np.arange(m, dtype=np.intp)
+            moved_here = self._dirty_moved[idx]
+            fresh_cols = np.flatnonzero(moved_here)
+            stale_cols = fresh_cols
+            membership_changed = False
+        else:
+            pos = np.searchsorted(prev.ids, idx)
+            pos_c = np.minimum(pos, max(len(prev.ids) - 1, 0))
+            kept = (
+                (pos < len(prev.ids)) & (prev.ids[pos_c] == idx)
+                if len(prev.ids)
+                else np.zeros(m, dtype=bool)
+            )
+            kept_src = np.where(kept, pos_c, -1).astype(np.intp)
+            moved_here = self._dirty_moved[idx]
+            fresh_cols = np.flatnonzero(~kept | moved_here)
+            rpos = np.searchsorted(idx, prev.ids)
+            rpos_c = np.minimum(rpos, max(m - 1, 0))
+            kept_prev = (
+                (rpos < m) & (idx[rpos_c] == prev.ids)
+                if m
+                else np.zeros(len(prev.ids), dtype=bool)
+            )
+            stale_cols = np.flatnonzero(~kept_prev | self._dirty_moved[prev.ids])
+            membership_changed = not (m == len(prev.ids) and bool(kept.all()))
+
+        costs = np.empty(m)
+        need = ~kept | repriced_mask[idx]
+        carry = np.flatnonzero(~need)
+        costs[carry] = prev.costs[kept_src[carry]]
+        dirty = np.flatnonzero(need)
+        if dirty.size:
+            costs[dirty] = self.announce_costs(idx[dirty], now)
+
+        token = self.stamp + (working_region,)
+        batch = AnnouncementBatch(
+            ids=idx,
+            xy=self.xy[idx],
+            costs=costs,
+            gamma=self.gamma[idx],
+            trust=self.trust[idx],
+            token=token,
+            clock=now,
+        )
+        delta = SlotDelta(
+            prev_token=prev.token,
+            token=token,
+            moved=moved,
+            exhausted=exhausted,
+            repriced=repriced,
+            kept_src=kept_src,
+            fresh_cols=fresh_cols,
+            stale_cols=stale_cols,
+            membership_changed=membership_changed,
+        )
+        self._rebase(batch, flagged)
+        return batch, delta
+
+    def _rebase(self, batch: "AnnouncementBatch", flagged: np.ndarray | None = None) -> None:
+        """Make ``batch`` the differential baseline; reset dirty sets."""
+        self._last_batch = batch
+        self._dirty_moved[:] = False
+        self._dirty_recorded[:] = False
+        self._dirty_exhausted[:] = False
+        if self._any_privacy:
+            self._last_flagged = (
+                flagged if flagged is not None else self._report_flags.any(axis=1)
+            )
 
     # ------------------------------------------------------------------
     # object-view compatibility

@@ -137,6 +137,79 @@ class WorldRaster:
         self._coverage_rows: dict[int, tuple] = {}
         self._exterior: dict[Region, np.ndarray] = {}
         self._contains: dict[Region, np.ndarray] = {}
+        # Set by :meth:`patched`: (prev_raster, fresh_idx, carry_old,
+        # carry_new, identity, aligned, new_to_old) — the splice plan that
+        # lets this raster's caches fill from the previous slot's instead
+        # of from scratch.  ``None`` for from-scratch rasters.
+        self._patch: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # differential construction
+    # ------------------------------------------------------------------
+    def patched(
+        self, xy: np.ndarray, old_to_new: np.ndarray, fresh_cols: np.ndarray
+    ) -> "WorldRaster":
+        """A raster over the next slot's block, seeded from this one.
+
+        ``old_to_new`` maps this raster's columns to columns of ``xy``
+        (``-1`` = no longer announced); ``fresh_cols`` are the ``xy``
+        columns whose geometry cannot be carried (new announcers plus
+        movers).  Every cache fill on the returned raster first tries to
+        *splice* from this raster's entries — carrying rows whose sensor
+        did not move and recomputing only the fresh subset, which is
+        bit-identical to a from-scratch fill because every cached quantity
+        is computed row-independently (elementwise containment arithmetic;
+        per-sensor candidate boxes + exact distance tests for coverage
+        rows).
+        """
+        out = WorldRaster(xy)
+        m = len(out.xy)
+        fresh_mask = np.zeros(m, dtype=bool)
+        fresh_mask[fresh_cols] = True
+        old_cols = np.flatnonzero(old_to_new >= 0)
+        new_cols = old_to_new[old_cols]
+        carried = ~fresh_mask[new_cols]
+        carry_old = old_cols[carried]
+        carry_new = new_cols[carried]
+        identity = (
+            not len(fresh_cols)
+            and len(carry_new) == m
+            and len(self.xy) == m
+            and bool((carry_new == np.arange(m)).all())
+        )
+        # Aligned: every carried column keeps its position (stable
+        # membership, only movers/new announcers differ) — carrying a
+        # cached array is then one memcpy + a fresh-subset overwrite
+        # instead of a gather/scatter pair.
+        aligned = len(self.xy) == m and bool(np.array_equal(carry_new, carry_old))
+        new_to_old = np.full(m, -1, dtype=np.int64)
+        new_to_old[carry_new] = carry_old
+        fresh_idx = np.flatnonzero(fresh_mask)
+        out._patch = (
+            self, fresh_idx, carry_old, carry_new, identity, aligned, new_to_old
+        )
+        return out
+
+    def _spliced_region_array(self, cache_name: str, region: Region, compute):
+        """Carry + subset-recompute one per-region containment array."""
+        patch = self._patch
+        if patch is None:
+            return None
+        prev_raster, fresh_idx, carry_old, carry_new, identity, aligned, _ = patch
+        prev = getattr(prev_raster, cache_name).get(region)
+        if prev is None:
+            return None
+        if identity:
+            return prev
+        if aligned:
+            out = prev.copy()
+        else:
+            out = np.empty(len(self.xy), dtype=prev.dtype)
+            out[carry_new] = prev[carry_old]
+        if fresh_idx.size:
+            out[fresh_idx] = compute(self.xy[fresh_idx])
+        out.setflags(write=False)
+        return out
 
     # ------------------------------------------------------------------
     # region containment caches
@@ -150,8 +223,12 @@ class WorldRaster:
         """
         out = self._exterior.get(region)
         if out is None:
-            out = region.exterior_distance_sq(self.xy)
-            out.setflags(write=False)
+            out = self._spliced_region_array(
+                "_exterior", region, region.exterior_distance_sq
+            )
+            if out is None:
+                out = region.exterior_distance_sq(self.xy)
+                out.setflags(write=False)
             self._exterior[region] = out
         return out
 
@@ -159,8 +236,10 @@ class WorldRaster:
         """Cached ``region.contains_many`` over the world block (read-only)."""
         out = self._contains.get(region)
         if out is None:
-            out = region.contains_many(self.xy)
-            out.setflags(write=False)
+            out = self._spliced_region_array("_contains", region, region.contains_many)
+            if out is None:
+                out = region.contains_many(self.xy)
+                out.setflags(write=False)
             self._contains[region] = out
         return out
 
@@ -187,10 +266,78 @@ class WorldRaster:
             and (entry[1] is cols or np.array_equal(entry[1], cols))
         ):
             return entry[2], entry[3]
-        indptr, cells = self._build_rows(fn, cols)
+        spliced = self._spliced_rows(fn, cols) if self._patch is not None else None
+        if spliced is not None:
+            indptr, cells = spliced
+        else:
+            indptr, cells = self._build_rows(fn, cols)
         indptr.setflags(write=False)
         cells.setflags(write=False)
         self._coverage_rows[key] = (fn, cols, indptr, cells)
+        return indptr, cells
+
+    def _spliced_rows(
+        self, fn: CoverageFunction, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Assemble ``fn``'s CSR rows from the previous slot's entry.
+
+        Carried rows (sensor announced both slots, did not move) are copied
+        span-wise from the old CSR; the rest are rebuilt with the normal
+        row builder on just that subset.  Row-for-row bit-identical to a
+        full :meth:`_build_rows` because the builder's membership test is
+        per-sensor independent.  Returns ``None`` (full rebuild) when the
+        previous slot never rasterized ``fn`` or too few rows carry over.
+        """
+        prev_raster, _, _, _, _, _, new_to_old = self._patch
+        entry = prev_raster._coverage_rows.get(id(fn))
+        if entry is None or entry[0] is not fn:
+            return None
+        _, pcols, pindptr, pcells = entry
+        # Row lookup by bisection over the old column list (ascending by
+        # construction — flatnonzero output); guards against exotic
+        # callers that cached an unsorted column order.
+        if not len(pcols) or not bool((pcols[1:] > pcols[:-1]).all()):
+            return None
+        k = len(cols)
+        old_of = new_to_old[cols]  # -1 where dropped or moved
+        oc = np.maximum(old_of, 0)
+        j = np.minimum(np.searchsorted(pcols, oc), len(pcols) - 1)
+        ok = (old_of >= 0) & (pcols[j] == oc)
+        j = np.where(ok, j, -1)
+        comp = np.flatnonzero(~ok)
+        if comp.size * 4 > k and comp.size > 64:
+            return None
+        if comp.size:
+            sub_indptr, sub_cells = self._build_rows(fn, cols[comp])
+        else:
+            sub_indptr = np.zeros(1, dtype=np.int64)
+            sub_cells = np.zeros(0, dtype=np.int64)
+        lens = np.empty(k, dtype=np.int64)
+        okidx = np.flatnonzero(ok)
+        jk = j[okidx]
+        lens[okidx] = pindptr[jk + 1] - pindptr[jk]
+        lens[comp] = np.diff(sub_indptr)
+        indptr = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        cells = np.empty(int(indptr[-1]), dtype=np.int64)
+        # Copy in maximal runs: consecutive carried rows that are also
+        # consecutive in the old CSR collapse into one memcpy; computed
+        # rows are contiguous in the sub-CSR by construction.
+        if k:
+            brk = np.ones(k, dtype=bool)
+            brk[1:] = (ok[1:] != ok[:-1]) | (ok[1:] & ok[:-1] & (j[1:] != j[:-1] + 1))
+            run_starts = np.flatnonzero(brk)
+            run_ends = np.append(run_starts[1:], k)
+            sub_cursor = 0
+            for a, b in zip(run_starts, run_ends):
+                dst0, dst1 = int(indptr[a]), int(indptr[b])
+                if ok[a]:
+                    src0 = int(pindptr[j[a]])
+                    cells[dst0:dst1] = pcells[src0 : src0 + (dst1 - dst0)]
+                else:
+                    src0 = int(sub_indptr[sub_cursor])
+                    cells[dst0:dst1] = sub_cells[src0 : src0 + (dst1 - dst0)]
+                    sub_cursor += b - a
         return indptr, cells
 
     def _build_rows(
@@ -208,22 +355,29 @@ class WorldRaster:
             return indptr, cells.astype(np.int64, copy=False)
         x_min, y_min, cell, nx, ny = layout
         r = float(fn.sensing_range)
-        sx = self.xy[cols, 0]
-        sy = self.xy[cols, 1]
+        pts = self.xy[cols]
+        sx = pts[:, 0]
+        sy = pts[:, 1]
         # Conservative candidate index boxes (padded by one cell so float
-        # rounding of the division can never exclude a boundary cell); the
-        # exact distance test below decides true membership.
-        ix_lo = np.floor((sx - r - x_min) / cell - 0.5).astype(np.int64) - 1
-        ix_hi = np.ceil((sx + r - x_min) / cell - 0.5).astype(np.int64) + 1
-        iy_lo = np.floor((sy - r - y_min) / cell - 0.5).astype(np.int64) - 1
-        iy_hi = np.ceil((sy + r - y_min) / cell - 0.5).astype(np.int64) + 1
-        np.clip(ix_lo, 0, nx - 1, out=ix_lo)
-        np.clip(ix_hi, 0, nx - 1, out=ix_hi)
-        np.clip(iy_lo, 0, ny - 1, out=iy_lo)
-        np.clip(iy_hi, 0, ny - 1, out=iy_hi)
-        box_nx = ix_hi - ix_lo + 1
-        box_ny = iy_hi - iy_lo + 1
-        counts = box_nx * box_ny
+        # rounding of the division can never exclude a boundary cell —
+        # including the <= 1-ulp drift of factoring the shared ``u``
+        # subexpression out of both bounds); the exact distance test below
+        # decides true membership.  Both coordinate axes ride through each
+        # vector op at once: at splice-time this path runs on handfuls of
+        # fresh rows per query, where the op count is the cost.
+        u = (pts - (x_min, y_min)) / cell - 0.5
+        v = r / cell
+        lo = np.floor(u - v).astype(np.int64) - 1
+        hi = np.ceil(u + v).astype(np.int64) + 1
+        bound = np.array([nx - 1, ny - 1], dtype=np.int64)
+        np.minimum(lo, bound, out=lo)
+        np.maximum(lo, 0, out=lo)
+        np.minimum(hi, bound, out=hi)
+        np.maximum(hi, 0, out=hi)
+        ix_lo, iy_lo = lo[:, 0], lo[:, 1]
+        box = hi - lo + 1
+        box_nx, box_ny = box[:, 0], box[:, 1]
+        counts = np.multiply(box_nx, box_ny)
         total = int(counts.sum())
         if total == 0:
             return np.zeros(len(cols) + 1, dtype=np.int64), np.zeros(0, dtype=np.int64)

@@ -235,6 +235,58 @@ def test_token_changes_on_exhaustion_and_movement():
     assert ValuationKernel.ensure(k, b) is not k
 
 
+def test_stamp_stable_across_noop_advances():
+    """A stationary fleet's version stamp survives any number of no-op
+    advance calls — positions and exhaustion versions never tick, so every
+    slot's announcement carries the identical stamp and token."""
+    fleet = stationary_fleet()
+    stamp = fleet._state.stamp
+    first = fleet.announcements()
+    for _ in range(5):
+        fleet.advance()
+        assert fleet._state.stamp == stamp
+        assert fleet.announcements().token == first.token
+
+
+def test_stamp_bumps_on_exhaustion_only_slots():
+    """With nobody moving, recording until exhaustion must tick *only* the
+    exhaustion component of the stamp — and only on the slot where a
+    sensor actually crosses its lifetime, not on every measurement."""
+    fleet = stationary_fleet(lifetime=2)
+    first = fleet.announcements()
+    sid = int(first.ids[0])
+    _, _, positions_v0, exhaustion_v0 = fleet._state.stamp
+
+    fleet.record_measurements([sid])  # 1 of 2 readings: not exhausted yet
+    fleet.advance()
+    _, _, positions_v1, exhaustion_v1 = fleet._state.stamp
+    assert positions_v1 == positions_v0
+    assert exhaustion_v1 == exhaustion_v0
+
+    fleet.record_measurements([sid])  # 2 of 2: exhausts on this slot only
+    fleet.advance()
+    _, _, positions_v2, exhaustion_v2 = fleet._state.stamp
+    assert positions_v2 == positions_v0
+    assert exhaustion_v2 == exhaustion_v0 + 1
+    assert sid not in set(fleet.announcements().ids)
+
+
+def test_token_differs_across_fleets_with_identical_geometry():
+    """Two distinct fleets with identical positions, configs and seeds
+    must never share a token: a kernel built for one fleet would otherwise
+    positively match the other's batch and serve it stale arrays."""
+    a, b = stationary_fleet(), stationary_fleet()
+    batch_a, batch_b = a.announcements(), b.announcements()
+    np.testing.assert_array_equal(batch_a.xy, batch_b.xy)
+    np.testing.assert_array_equal(batch_a.costs, batch_b.costs)
+    assert batch_a.token != batch_b.token
+    # The disagreement is exactly the per-fleet uid; versions and the
+    # announce region still agree.
+    assert batch_a.token[2:] == batch_b.token[2:]
+    kernel = ValuationKernel.ensure(None, batch_a)
+    assert ValuationKernel.ensure(kernel, batch_b) is not kernel
+
+
 def test_token_survives_cost_only_changes():
     """Privacy-driven price moves do not invalidate the kernel (the token
     contract excludes announced costs)."""

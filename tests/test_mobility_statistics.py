@@ -6,8 +6,12 @@ import numpy as np
 import pytest
 
 from repro.mobility import (
+    ChurnMobility,
+    ChurnStatistics,
     MobilityTrace,
     NokiaCampaignSynthesizer,
+    StationaryMobility,
+    compute_churn,
     compute_statistics,
 )
 from repro.spatial import Location, Region
@@ -79,3 +83,53 @@ class TestSubstituteValidation:
         assert stats.mean_entries_per_slot > 0.0
         assert stats.mean_exits_per_slot > 0.0
         assert stats.mean_dwell >= 1.0
+
+
+class TestComputeChurn:
+    def test_exact_fractions_from_hand_built_trace(self):
+        # Slot 0->1: sensor 2 moves 8 -> 8.4 (same unit cell, no crossing).
+        # Slot 1->2: sensors 0 and 2 move; sensor 0 crosses 1 -> 3.
+        trace = trace_from([[1, 8, 8], [1, 8, 8.4], [3, 8, 8.6]])
+        stats = compute_churn(trace, cell_size=1.0)
+        assert isinstance(stats, ChurnStatistics)
+        assert stats.n_slots == 3
+        np.testing.assert_allclose(stats.moved_fraction, [0.0, 1 / 3, 2 / 3])
+        np.testing.assert_allclose(stats.crossing_rate, [0.0, 0.0, 1 / 3])
+        assert stats.mean_moved_fraction == pytest.approx((1 / 3 + 2 / 3) / 2)
+        assert stats.mean_crossing_rate == pytest.approx(1 / 6)
+        assert "churn over 3 slots" in stats.format()
+
+    def test_crossing_never_exceeds_moved(self):
+        rng = np.random.default_rng(0)
+        model = ChurnMobility(REGION, 200, rng, fraction=0.1)
+        stats = compute_churn(model, n_slots=12, cell_size=2.0)
+        assert np.all(stats.crossing_rate <= stats.moved_fraction + 1e-12)
+        # ~10% of sensors relocate per warm slot.
+        assert stats.mean_moved_fraction == pytest.approx(0.1, abs=0.02)
+
+    def test_stationary_model_has_zero_churn(self):
+        positions = [Location(float(1 + i % 8), float(1 + i // 8)) for i in range(16)]
+        stats = compute_churn(
+            StationaryMobility(REGION, positions), n_slots=5, cell_size=1.0
+        )
+        assert stats.mean_moved_fraction == 0.0
+        assert stats.mean_crossing_rate == 0.0
+
+    def test_trace_slot_clamp_and_validation(self):
+        trace = trace_from([[1, 2], [1, 2], [2, 3]])
+        stats = compute_churn(trace, n_slots=2, cell_size=1.0)
+        assert stats.n_slots == 2
+        with pytest.raises(ValueError):
+            compute_churn(trace, n_slots=9, cell_size=1.0)
+        with pytest.raises(ValueError):
+            compute_churn(trace, cell_size=0.0)
+        model = ChurnMobility(REGION, 4, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            compute_churn(model)  # live models need an explicit n_slots
+
+    def test_churn_mobility_validation(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            ChurnMobility(REGION, 0, rng)
+        with pytest.raises(ValueError):
+            ChurnMobility(REGION, 5, rng, fraction=1.5)
