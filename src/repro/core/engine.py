@@ -63,6 +63,7 @@ from .valuation import ValuationKernel
 
 __all__ = [
     "FLUSH_SLOT",
+    "PHASES",
     "QueryStream",
     "OneShotStream",
     "LocationMonitoringStream",
@@ -702,6 +703,7 @@ class SlotEngine:
         self.last_timings: dict[str, float] = {}
         self.last_delta = None
         self.last_result: AllocationResult | None = None
+        self.last_record: SlotRecord | None = None
         self._kernel: ValuationKernel | None = None
 
     def stream(self, kind: str) -> QueryStream:
@@ -791,6 +793,7 @@ class SlotEngine:
         if self.profile:
             for phase, seconds in self.last_timings.items():
                 record.extras[f"t_{phase}"] = seconds
+        self.last_record = record
         return record
 
 

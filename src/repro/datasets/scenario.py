@@ -221,6 +221,14 @@ class ScenarioSpec:
             per slot — recorded into a replayable
             :class:`~repro.mobility.MobilityTrace` (seeded from the world
             seed, so it is as reproducible as the native trace).
+        service: optional streaming-service block consumed by
+            ``repro serve`` / ``repro loadgen``
+            (:class:`~repro.service.ServiceConfig`): ticker pacing
+            (``tick_interval``), admission control (``max_queue_depth``,
+            ``max_admitted_per_tick``) and an optional open-loop
+            ``arrivals`` profile (``{"profile": "poisson"|"bursty",
+            "rate": ..., "seed": ...}``).  Ignored by batch runs — the
+            declared streams double as the service's arrival templates.
     """
 
     name: str
@@ -238,6 +246,7 @@ class ScenarioSpec:
     fused: bool | str | None = None
     incremental: bool | str | None = None
     mobility: dict[str, Any] | None = None
+    service: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.dataset not in ("rwm", "rnc", "intel"):
@@ -271,6 +280,10 @@ class ScenarioSpec:
             extra = set(self.mobility) - {"kind", "fraction"}
             if extra:
                 raise ValueError(f"unknown mobility fields: {sorted(extra)}")
+        if self.service is not None:
+            from ..service.marketplace import ServiceConfig
+
+            ServiceConfig.from_payload(self.service)  # validation only
         # Cross-field: the BILP/local-search allocators schedule single-sensor
         # point queries only (monitoring streams qualify — they emit derived
         # point queries; event streams emit EventSlotQuery sets); reject
@@ -297,7 +310,7 @@ class ScenarioSpec:
         known = {
             "name", "dataset", "seed", "workload_seed", "n_sensors", "n_slots",
             "rnc_presence", "allocator", "allocation", "fleet", "sharding",
-            "fused", "incremental", "mobility",
+            "fused", "incremental", "mobility", "service",
         }
         extra = set(payload) - known
         if extra:
@@ -333,6 +346,8 @@ class ScenarioSpec:
             out["incremental"] = self.incremental
         if self.mobility is not None:
             out["mobility"] = dict(self.mobility)
+        if self.service is not None:
+            out["service"] = dict(self.service)
         return out
 
     @classmethod

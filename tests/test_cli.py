@@ -35,11 +35,53 @@ class TestParser:
             build_parser().parse_args(["figures", "--scale", "giant"])
 
 
+SPEC_PAYLOAD = {
+    "name": "cli-svc",
+    "dataset": "rwm",
+    "seed": 5,
+    "n_sensors": 250,
+    "n_slots": 4,
+    "allocator": "greedy",
+    "service": {
+        "max_queue_depth": 64,
+        "max_admitted_per_tick": 16,
+        "arrivals": {"profile": "poisson", "rate": 5, "seed": 2},
+    },
+    "streams": [
+        {"kind": "point", "params": {"n_queries": 3, "budget": 12.0}}
+    ],
+}
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "svc.json"
+    path.write_text(json.dumps(SPEC_PAYLOAD))
+    return path
+
+
 class TestCommands:
     def test_info(self, capsys):
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "fig2" in out and "repro" in out
+
+    def test_info_enumerates_every_subcommand(self, capsys):
+        """``repro info`` introspects the parser: every registered
+        subcommand appears, including ones added after it."""
+        main(["info"])
+        out = capsys.readouterr().out
+        sub = next(
+            a for a in build_parser()._actions
+            if a.__class__.__name__ == "_SubParsersAction"
+        )
+        listed = {
+            line.split()[0]
+            for line in out.splitlines()
+            if line.startswith("  ") and line.strip()
+        }
+        assert set(sub.choices) <= listed
+        assert {"serve", "loadgen", "scenario"} <= listed
 
     def test_unknown_figure_exits_2(self, capsys):
         assert main(["figures", "--figure", "fig99"]) == 2
@@ -64,6 +106,86 @@ class TestCommands:
         payload = json.loads((tmp_path / "fig2_ci.json").read_text())
         assert payload["figure_id"] == "fig2"
         assert "Optimal" in payload["series"]
+
+
+class TestScenarioJson:
+    def test_scenario_json_emits_shared_payload(self, spec_file, capsys):
+        assert main(["scenario", str(spec_file), "--slots", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["name"] == "cli-svc"
+        assert payload["n_slots"] == 2
+        assert set(payload["phase_timings"]) == {
+            "announce", "kernel", "allocate", "settle"
+        }
+        assert len(payload["slots"]) == 2
+        for key in ("average_utility", "satisfaction_ratio", "quality"):
+            assert key in payload
+
+    def test_scenario_json_multiple_specs_is_an_array(
+        self, spec_file, tmp_path, capsys
+    ):
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({**SPEC_PAYLOAD, "name": "cli-svc-2"}))
+        assert (
+            main(["scenario", str(spec_file), str(other), "--slots", "2", "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["name"] for p in payload] == ["cli-svc", "cli-svc-2"]
+
+
+class TestServe:
+    def test_serve_exit_after_with_metrics(self, spec_file, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["serve", "--spec", str(spec_file), "--slots", "3", "--exit-after",
+             "--metrics", str(metrics)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ticks" in out and "slot latency" in out
+        data = json.loads(metrics.read_text())
+        assert data["n_slots"] == 3
+        assert data["service"]["counters"]["submitted"] > 0
+        assert len(data["service"]["slots"]) == 3
+
+    def test_serve_rejects_continuous_stream_specs(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps(
+                {**SPEC_PAYLOAD, "streams": [{"kind": "event", "params": {}}]}
+            )
+        )
+        assert main(["serve", "--spec", str(bad), "--slots", "1",
+                     "--exit-after"]) == 2
+        assert "one-shot" in capsys.readouterr().err
+
+
+class TestLoadgen:
+    def test_loadgen_parity_check_passes(self, spec_file, tmp_path, capsys):
+        csv_path = tmp_path / "slots.csv"
+        code = main(
+            ["loadgen", str(spec_file), "--slots", "3", "--check-parity",
+             "--metrics-csv", str(csv_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parity OK" in out
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 4
+
+    def test_loadgen_bursty_flags_saturate_the_queue(self, spec_file, capsys):
+        code = main(
+            ["loadgen", str(spec_file), "--slots", "4", "--profile", "bursty",
+             "--rate", "2", "--burst-rate", "120", "--period", "4",
+             "--burst-length", "1", "--queue-depth", "16", "--admit-cap", "8",
+             "--check-parity"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parity OK" in out
+        assert "queue_full" in out
 
 
 class TestAsciiChart:

@@ -16,6 +16,7 @@ SPEC_FILES = sorted(SPEC_DIR.glob("*.json"))
 EXPECTED = {
     "adversarial_pricing.json",
     "dense_urban.json",
+    "metro_burst.json",
     "metro_scale.json",
     "region_heavy.json",
     "region_storm.json",
@@ -134,6 +135,46 @@ def test_region_storm_spec_exercises_the_fused_pipeline():
     # The slot's kernel raster is the per-batch cached one: every
     # aggregate query indexed the same covered-cell CSR rows.
     assert kernel.raster is get_raster(batch, batch.xy)
+
+
+def test_metro_burst_spec_drives_the_marketplace_service():
+    """The metro-burst spec declares 10^5 sensors plus a ``service``
+    block (bounded queue, per-tick admission cap, bursty arrivals); a
+    scaled-down build must honour the admission config under the
+    declared burst profile and keep per-slot allocations bit-identical
+    to an offline SlotEngine replay of the recorded admission trace."""
+    import dataclasses
+
+    from repro.service import (
+        BurstyProfile,
+        LoadGenerator,
+        MarketplaceService,
+        replay_admission_trace,
+    )
+
+    spec = ScenarioSpec.from_json(SPEC_DIR / "metro_burst.json")
+    assert spec.n_sensors >= 100_000
+    assert spec.sharding == "auto" and spec.fused == "auto"
+    assert spec.service is not None
+    assert spec.service["arrivals"]["profile"] == "bursty"
+
+    small = dataclasses.replace(spec, n_sensors=1200, n_slots=4)
+    service = MarketplaceService.from_spec(small)
+    assert service.config.max_queue_depth == 256
+    assert service.config.max_admitted_per_tick == 96
+    generator = LoadGenerator.for_service(service)
+    assert isinstance(generator.profile, BurstyProfile)
+
+    n_ticks = 4
+    generator.drive(service, n_ticks)
+    assert service.metrics.submitted > 0
+    # Admission control: never more than the cap per tick, queue bounded.
+    assert all(s.admitted <= 96 for s in service.metrics.slots)
+    assert service.metrics.max_queue_depth <= 256
+
+    flat = [q for batch in generator.schedule(n_ticks) for q in batch]
+    replayed = replay_admission_trace(small, service.trace, flat)
+    assert replayed == service.slot_signatures
 
 
 def spec_region(spec):

@@ -1,0 +1,145 @@
+"""The service honesty contract: for a recorded admission trace, the
+marketplace service's per-slot allocations are bit-identical to an
+offline :class:`~repro.core.engine.SlotEngine` replay of the same query
+sequence (the :func:`~repro.experiments.allocation_signature` relabeling
+discipline of ``experiments/replay.py``).
+
+Every engine configuration the batch layer ships — dense and sharded
+kernels, fused and per-row gain refreshes, full-rebuild and incremental
+slot state — must uphold the contract, so the suite sweeps recorded
+traces across those corners plus saturated admission (rejections must
+not perturb what *was* admitted).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.datasets import ScenarioSpec, StreamSpec
+from repro.service import (
+    BurstyProfile,
+    LoadGenerator,
+    MarketplaceService,
+    PoissonProfile,
+    replay_admission_trace,
+)
+
+N_TICKS = 4
+
+
+def make_spec(name, **knobs):
+    """A small mixed point+aggregate world the service can tick quickly."""
+    return ScenarioSpec(
+        name=name,
+        dataset="rwm",
+        seed=99,
+        n_sensors=900,
+        n_slots=N_TICKS,
+        allocator="greedy",
+        streams=[
+            StreamSpec("point", {"n_queries": 6, "budget": 12.0}),
+            StreamSpec(
+                "aggregate",
+                {"mean_queries": 3, "count_spread": 0, "min_side": 10.0,
+                 "max_side": 20.0},
+            ),
+        ],
+        **knobs,
+    )
+
+
+SCENARIOS = {
+    # dense kernel, per-row gains, full rebuild every slot
+    "dense": make_spec("svc-dense", sharding=None, fused=False, incremental=False),
+    # sharded kernel + fused type-blocked gain batches
+    "sharded-fused": make_spec("svc-sharded-fused", sharding="auto", fused="auto"),
+    # sharded kernel + incremental slot state over churn mobility
+    "sharded-incremental": make_spec(
+        "svc-sharded-incremental",
+        sharding="auto",
+        fused="auto",
+        incremental="auto",
+        mobility={"kind": "churn", "fraction": 0.02},
+    ),
+    # dense kernel + incremental slot state (delta path without shards)
+    "dense-incremental": make_spec(
+        "svc-dense-incremental",
+        sharding=None,
+        incremental="auto",
+        mobility={"kind": "churn", "fraction": 0.02},
+    ),
+}
+
+
+def run_and_replay(spec, service, generator, n_ticks=N_TICKS):
+    """Drive the service open-loop, then replay its admission trace
+    offline against a fresh batch engine of the same spec."""
+    generator.drive(service, n_ticks)
+    flat = [q for batch in generator.schedule(n_ticks) for q in batch]
+    replayed = replay_admission_trace(spec, service.trace, flat)
+    return replayed, service.slot_signatures
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS), ids=str)
+def test_service_matches_offline_replay(name):
+    spec = SCENARIOS[name]
+    service = MarketplaceService.from_spec(spec)
+    generator = LoadGenerator(
+        PoissonProfile(10.0), service.workloads, seed=spec.seed
+    )
+    replayed, live = run_and_replay(spec, service, generator)
+    assert service.metrics.admitted > 0
+    assert len(live) == N_TICKS
+    assert replayed == live
+
+
+def test_parity_survives_saturated_admission():
+    """Queue-full rejections drop arrivals but must not perturb the
+    allocations of what was admitted: the trace (admitted seqs only)
+    replays to identical signatures."""
+    spec = SCENARIOS["sharded-fused"]
+    service = MarketplaceService.from_spec(
+        spec, max_queue_depth=8, max_admitted_per_tick=4
+    )
+    generator = LoadGenerator(
+        BurstyProfile(rate=2.0, burst_rate=40.0, period=4, burst_length=1),
+        service.workloads,
+        seed=7,
+    )
+    replayed, live = run_and_replay(spec, service, generator)
+    assert service.metrics.rejected.get("queue_full", 0) > 0
+    assert service.metrics.max_queue_depth <= 8
+    assert all(s.admitted <= 4 for s in service.metrics.slots)
+    assert replayed == live
+
+
+def test_parity_across_engine_corners_is_mutual():
+    """The same recorded trace replays identically through *different*
+    engine knob settings — the service contract composes with the batch
+    layer's own dense/sharded and fused/per-row equivalences."""
+    spec = SCENARIOS["dense"]
+    service = MarketplaceService.from_spec(spec)
+    generator = LoadGenerator(
+        PoissonProfile(8.0), service.workloads, seed=spec.seed
+    )
+    replayed, live = run_and_replay(spec, service, generator)
+    assert replayed == live
+
+    flat = [q for batch in generator.schedule(N_TICKS) for q in batch]
+    sharded = dataclasses.replace(spec, sharding="auto", fused="auto")
+    assert replay_admission_trace(sharded, service.trace, flat) == live
+
+
+def test_trace_queries_replay_without_regeneration():
+    """``queries_by_seq=None`` replays the service's own recorded query
+    objects — the weaker (object-identity) form of the contract."""
+    spec = SCENARIOS["dense"]
+    service = MarketplaceService.from_spec(spec)
+    generator = LoadGenerator(
+        PoissonProfile(6.0), service.workloads, seed=3
+    )
+    generator.drive(service, N_TICKS)
+    replayed = replay_admission_trace(spec, service.trace)
+    assert replayed == service.slot_signatures
