@@ -1,0 +1,89 @@
+"""Committed-baseline handling: grandfathered findings that don't fail CI.
+
+A baseline entry matches a finding by a line-number-free fingerprint
+(rule | path | message), so grandfathered findings survive unrelated edits
+above them but a *new* occurrence of the same hazard in the same file only
+passes while the grandfathered one is still present (multiset matching).
+
+Rows (CHANGES-style):
+    fingerprint    - stable hash of (rule, path, message)
+    load_baseline  - committed JSON -> Counter of fingerprints
+    apply_baseline - split findings into (new, baselined) + stale entries
+    write_baseline - regenerate the committed file from current findings
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .rules import Finding
+
+__all__ = ["fingerprint", "load_baseline", "apply_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    key = f"{finding.rule}|{finding.path}|{finding.message}"
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint multiset from the committed baseline (empty if absent)."""
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported lint baseline version {payload.get('version')!r} "
+            f"in {path}"
+        )
+    counts: Counter = Counter()
+    for entry in payload.get("findings", []):
+        counts[entry["fingerprint"]] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding], Counter]:
+    """Split into (new, grandfathered); leftover counts flag stale entries."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        fp = fingerprint(finding)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = Counter({fp: n for fp, n in remaining.items() if n > 0})
+    return new, grandfathered, stale
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Grandfather every current finding; returns the entry count."""
+    counts: Counter = Counter()
+    meta: dict[str, Finding] = {}
+    for finding in findings:
+        fp = fingerprint(finding)
+        counts[fp] += 1
+        meta.setdefault(fp, finding)
+    entries = [
+        {
+            "fingerprint": fp,
+            "rule": meta[fp].rule,
+            "path": meta[fp].path,
+            "message": meta[fp].message,
+            "count": counts[fp],
+        }
+        for fp in sorted(counts, key=lambda fp: (meta[fp].path, meta[fp].rule, fp))
+    ]
+    payload = {"version": _VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return sum(counts.values())

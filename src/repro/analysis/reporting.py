@@ -1,0 +1,73 @@
+"""Text and JSON reporters shared by ``repro lint`` and CI.
+
+Rows (CHANGES-style):
+    format_text - ``path:line:col: CODE [rule] message`` + summary footer
+    format_json - machine-readable payload (findings, counts, rule table)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from .rules import RULES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import LintResult
+
+__all__ = ["format_text", "format_json"]
+
+
+def format_text(result: "LintResult", verbose: bool = False) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.code} [{f.rule}] {f.message}"
+        for f in result.findings
+    ]
+    if verbose:
+        lines.extend(
+            f"{f.path}:{f.line}:{f.col + 1}: {f.code} [{f.rule}] suppressed"
+            + (f" ({reason})" if reason else "")
+            for f, reason in result.suppressed
+        )
+        lines.extend(
+            f"{f.path}:{f.line}:{f.col + 1}: {f.code} [{f.rule}] baselined"
+            for f in result.baselined
+        )
+    for fp, count in sorted(result.stale_baseline.items()):
+        lines.append(
+            f"baseline: {count} grandfathered entr{'y' if count == 1 else 'ies'} "
+            f"{fp} no longer occur(s) — regenerate with --write-baseline"
+        )
+    lines.append(
+        f"{len(result.findings)} finding(s), {len(result.suppressed)} "
+        f"suppressed, {len(result.baselined)} baselined "
+        f"({result.modules} modules indexed)"
+    )
+    return "\n".join(lines)
+
+
+def format_json(result: "LintResult") -> str:
+    payload = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+        "counts": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "stale_baseline": int(sum(result.stale_baseline.values())),
+            "modules": result.modules,
+        },
+        "rules": {rule.id: {"code": rule.code, "summary": rule.summary}
+                  for rule in RULES.values()},
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2)

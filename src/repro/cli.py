@@ -10,6 +10,7 @@ Usage::
     python -m repro replay myspec.json --csv replay.csv
     python -m repro serve --spec myspec.json --slots 20 --exit-after
     python -m repro loadgen myspec.json --slots 20 --check-parity
+    python -m repro lint --format=json
     python -m repro demo
     python -m repro info
 """
@@ -166,6 +167,31 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--metrics-csv", default=None, metavar="PATH",
                          help="write the per-slot service metrics CSV here")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant checker (capability hooks, batch-hook "
+             "pairing, determinism, ULP hygiene, hot loops, async hygiene)",
+    )
+    lint.add_argument("paths", nargs="*", default=[],
+                      help="files/dirs to lint (default: src/repro)")
+    lint.add_argument("--root", default=".",
+                      help="repo root the rule scopes and baseline resolve "
+                           "against (default: cwd)")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      help="report format")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline JSON of grandfathered findings "
+                           "(default: <root>/lint-baseline.json when present)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="grandfather every current finding into the "
+                           "baseline file and exit 0")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule subset (see --list-rules)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every registered rule and exit")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also report suppressed and baselined findings")
+
     sub.add_parser("demo", help="run the quickstart comparison")
     sub.add_parser(
         "info",
@@ -228,7 +254,7 @@ def _parse_sharding(value: str | None):
         return normalize_sharding(setting)
     except ValueError:
         print(f"invalid --sharding value {value!r}", file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from None
 
 
 def _parse_fused(value: str | None):
@@ -248,7 +274,7 @@ def _parse_fused(value: str | None):
         raise ValueError(value)
     except ValueError:
         print(f"invalid --fused value {value!r}", file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from None
 
 
 def _parse_incremental(value: str | None):
@@ -268,7 +294,7 @@ def _parse_incremental(value: str | None):
         raise ValueError(value)
     except ValueError:
         print(f"invalid --incremental value {value!r}", file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from None
 
 
 def _run_scenario(args: argparse.Namespace) -> int:
@@ -558,6 +584,49 @@ def _run_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+
+    from .analysis import (
+        RULES,
+        LintConfig,
+        format_json,
+        format_text,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.code}  {rule.id:<20} {rule.summary}")
+        return 0
+    root = Path(args.root)
+    baseline = Path(args.baseline) if args.baseline else root / "lint-baseline.json"
+    config = LintConfig(root=root)
+    if args.paths:
+        config = _dc.replace(config, paths=tuple(args.paths))
+    if args.rules:
+        config = _dc.replace(
+            config, rules=tuple(r.strip() for r in args.rules.split(",") if r.strip())
+        )
+    if not args.write_baseline and baseline.exists():
+        config = _dc.replace(config, baseline_path=baseline)
+    try:
+        result = run_lint(config)
+    except ValueError as exc:  # unknown rule ids, bad baseline version
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        count = write_baseline(baseline, result.findings)
+        print(f"wrote {baseline} ({count} grandfathered finding(s))")
+        return 0
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
 def _run_demo() -> int:
     import numpy as np
 
@@ -618,6 +687,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "loadgen":
         return _run_loadgen(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "demo":
         return _run_demo()
     if args.command == "info":

@@ -2,8 +2,8 @@
 
 from .aggregator import Aggregator, QueryReceipt, SlotDigest, UserAccount
 from .allocation import AllocationResult, Allocator, check_distinct
-from .clairvoyant import ClairvoyantPlan, simulate_myopic_gap, solve_clairvoyant
 from .baselines import BaselineAllocator
+from .clairvoyant import ClairvoyantPlan, simulate_myopic_gap, solve_clairvoyant
 from .engine import (
     EventDetectionStream,
     JointSlotAllocation,
@@ -35,13 +35,13 @@ from .payments import proportionate_shares, redistribute_contribution
 from .point_problem import PointProblem
 from .sampling import SamplingPlan, paper_weight_function, plan_sampling
 from .sharding import FleetShard, ShardedKernel, normalize_sharding, resolve_cell_size
-from .valuation import ValuationKernel, delta_old_to_new
 from .simulation import (
     LocationMonitoringSimulation,
     MixSimulation,
     OneShotSimulation,
     RegionMonitoringSimulation,
 )
+from .valuation import ValuationKernel, delta_old_to_new
 
 __all__ = [
     "Aggregator",

@@ -16,6 +16,7 @@ downstream application would actually embed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -56,7 +57,7 @@ class UserAccount:
     """Running account of one application/user at the aggregator."""
 
     user_id: str
-    budget: float = float("inf")
+    budget: float = math.inf
     spent: float = 0.0
     value_received: float = 0.0
     queries: list[str] = field(default_factory=list)
@@ -124,7 +125,7 @@ class Aggregator:
     def clock(self) -> int:
         return self.fleet.clock
 
-    def open_account(self, user_id: str, budget: float = float("inf")) -> UserAccount:
+    def open_account(self, user_id: str, budget: float = math.inf) -> UserAccount:
         """Register a user with an optional hard spending budget."""
         if user_id in self.accounts:
             raise AllocationError(f"user {user_id!r} already has an account")

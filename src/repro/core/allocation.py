@@ -172,8 +172,8 @@ class AllocationResult:
                 raise PaymentInvariantError(
                     f"query {qid} has negative utility {utility:.6f}"
                 )
-        for qid, sensors in self.assignments.items():
-            for sid in sensors:
+        for qid, assigned in self.assignments.items():
+            for sid in assigned:
                 if sid not in self.selected:
                     raise PaymentInvariantError(
                         f"query {qid} assigned unselected sensor {sid}"

@@ -55,9 +55,9 @@ from ..queries import (
 )
 from ..sensors import SensorFleet, SensorSnapshot
 from .allocation import AllocationResult, Allocator
+from .greedy import normalize_fused
 from .metrics import SimulationSummary, SlotRecord
 from .monitoring import LocationMonitoringController, RegionMonitoringController
-from .greedy import normalize_fused
 from .sharding import ShardedKernel, normalize_sharding
 from .valuation import ValuationKernel
 

@@ -108,6 +108,7 @@ def relevant_queries_by_sensor(
         rel = kernel.relevance([q for _, q in plain_points])
         point_pos = np.asarray([i for i, _ in plain_points], dtype=np.intp)
         others = [(i, q) for i, q in enumerate(queries) if type(q) is not PointQuery]
+        # reprolint: disable=hot-loop(scalar relevance oracle: mixed-type slots without a batch mask; parity-pinned)
         for j, snapshot in enumerate(sensors):
             indices = list(point_pos[rel[:, j]])
             indices.extend(i for i, q in others if q.relevant(snapshot))
@@ -115,6 +116,7 @@ def relevant_queries_by_sensor(
             if indices:
                 relevant[snapshot.sensor_id] = [queries[i].query_id for i in indices]
     else:
+        # reprolint: disable=hot-loop(no-kernel scalar fallback; the kernel path above serves hot slots)
         for snapshot in sensors:
             qids = [q.query_id for q in queries if q.relevant(snapshot)]
             if qids:

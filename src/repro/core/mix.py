@@ -30,13 +30,13 @@ from ..queries import (
 from ..sensors import SensorSnapshot
 from .allocation import AllocationResult, Allocator
 from .baselines import BaselineAllocator
+from .engine import call_allocator
 from .greedy import GreedyAllocator
 from .monitoring import (
     LocationMonitoringController,
     RegionMonitoringController,
     RegionSlotOutcome,
 )
-from .engine import call_allocator
 from .valuation import ValuationKernel
 
 __all__ = ["MixOutcome", "MixAllocator", "BaselineMixAllocator"]

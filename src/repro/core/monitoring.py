@@ -25,6 +25,7 @@ from ..queries import (
     RegionMonitoringQuery,
     new_query_id,
 )
+from ..queries.base import resolve_relevant_mask
 from ..sensors import SensorSnapshot
 from ..spatial.raster import get_raster
 from .allocation import AllocationResult
@@ -241,19 +242,27 @@ class RegionMonitoringController:
         slot — and the allocator side, which shares the raster through the
         kernel — pay one pass per (region, announcement batch) pair.
         Plain containment is exactly ``relevant_mask``; subclasses that
-        override it keep the direct vectorized call.
+        override it keep the vectorized call, routed through
+        :func:`~repro.queries.base.resolve_relevant_mask` so a subclass
+        that overrides only the scalar :meth:`relevant` falls back to the
+        per-snapshot scan instead of the stale inherited mask.
         """
         xy = _announcement_xy(sensors)
         raster = get_raster(sensors, xy)
-        return {
-            q.query_id: (
-                raster.contains_mask(q.region)
-                if type(q) is RegionMonitoringQuery
-                else q.relevant_mask(xy)
-            )
-            for q in queries
-            if q.active(t)
-        }
+        masks: dict[str, np.ndarray] = {}
+        for q in queries:
+            if not q.active(t):
+                continue
+            if type(q) is RegionMonitoringQuery:
+                masks[q.query_id] = raster.contains_mask(q.region)
+                continue
+            mask = resolve_relevant_mask(q, xy)
+            if mask is None:
+                mask = np.fromiter(
+                    (q.relevant(s) for s in sensors), bool, len(sensors)
+                )
+            masks[q.query_id] = mask
+        return masks
 
     @staticmethod
     def _counts_from_masks(

@@ -113,6 +113,7 @@ def plan_sampling(
     def refresh(t: int) -> None:
         time_factor = (query.t2 - t + 1) / span
         slot_gains: dict[int, float] = {}
+        # reprolint: disable=hot-loop(CDQS planner over one location's in-region candidates, not the announcement axis)
         for snapshot in snapshots:
             if snapshot.sensor_id in chosen_ids[t]:
                 continue

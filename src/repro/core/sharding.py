@@ -72,7 +72,6 @@ shards (one sorted concatenation, memoized per cell range).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -87,8 +86,8 @@ from ..queries import (
     TrajectoryQuery,
 )
 from ..sensors import SensorSnapshot
-from ..spatial.index import UniformGridIndex
 from ..sensors.state import as_announcement_sequence
+from ..spatial.index import UniformGridIndex
 from .valuation import ValuationKernel, delta_old_to_new
 
 __all__ = [
@@ -145,7 +144,7 @@ def resolve_cell_size(xy: np.ndarray, target_occupancy: float = 4.0) -> float:
     if width <= 0.0 and height <= 0.0:
         return 1.0
     area = (width if width > 0.0 else 1.0) * (height if height > 0.0 else 1.0)
-    return math.sqrt(target_occupancy * area / n)
+    return float(np.sqrt(target_occupancy * area / n))
 
 
 @dataclass

@@ -158,6 +158,7 @@ class ValuationKernel:
         gamma = np.empty(n, dtype=float)
         trust = np.empty(n, dtype=float)
         costs = np.empty(n, dtype=float)
+        # reprolint: disable=hot-loop(object-path fallback for plain snapshot lists; batches take kernel_arrays above)
         for j, snapshot in enumerate(sensors):
             xy[j, 0] = snapshot.location.x
             xy[j, 1] = snapshot.location.y

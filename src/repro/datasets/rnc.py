@@ -14,7 +14,6 @@ from functools import lru_cache
 import numpy as np
 
 from ..mobility import (
-    PAPER_RNC_REGION,
     PAPER_RNC_WORKING_REGION,
     MobilityTrace,
     NokiaCampaignSynthesizer,

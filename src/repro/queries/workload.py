@@ -21,7 +21,7 @@ emits fresh query objects per time slot:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

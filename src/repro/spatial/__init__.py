@@ -1,12 +1,12 @@
 """Spatial substrate: locations, regions, grids, trajectories, coverage."""
 
+from .coverage import AreaCoverage, CoverageFunction, TrajectoryCoverage, WeightedCoverage
 from .geometry import Location, as_xy, centroid, euclidean, manhattan, nearest, pairwise_distances
 from .grid import Grid, GridIndex
 from .index import UniformGridIndex
+from .raster import WorldRaster, get_raster
 from .region import Region
 from .trajectory import Trajectory
-from .coverage import AreaCoverage, CoverageFunction, TrajectoryCoverage, WeightedCoverage
-from .raster import WorldRaster, get_raster
 
 __all__ = [
     "WorldRaster",

@@ -29,7 +29,7 @@ arithmetic and therefore produce bit-identical masks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

@@ -123,6 +123,7 @@ def nearest(target: Location, candidates: Iterable[Location]) -> Location:
     """
     best = None
     best_dist = math.inf
+    # reprolint: disable=hot-loop(scalar utility over a handful of Locations, not the announcement axis)
     for candidate in candidates:
         dist = target.distance_to(candidate)
         if dist < best_dist:

@@ -30,6 +30,7 @@ def _point_segment_distance(p: Location, a: Location, b: Location) -> float:
         return p.distance_to(a)
     t = ((p.x - ax) * dx + (p.y - ay) * dy) / seg_len_sq
     t = min(max(t, 0.0), 1.0)
+    # reprolint: disable=ulp-mixed-math(scalar parity path pinned bit-identical to the seed; np.hypot differs in the last ulp)
     return math.hypot(p.x - (ax + t * dx), p.y - (ay + t * dy))
 
 

@@ -12,13 +12,6 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
-from repro.queries import (
-    LocationMonitoringQuery,
-    PointQuery,
-    Query,
-    RegionMonitoringQuery,
-)
-from repro.sensors import SensorFleet, SensorSnapshot
 from repro.core.allocation import AllocationResult, Allocator
 from repro.core.baselines import BaselineAllocator
 from repro.core.metrics import SimulationSummary, SlotRecord
@@ -27,6 +20,13 @@ from repro.core.monitoring import (
     LocationMonitoringController,
     RegionMonitoringController,
 )
+from repro.queries import (
+    LocationMonitoringQuery,
+    PointQuery,
+    Query,
+    RegionMonitoringQuery,
+)
+from repro.sensors import SensorFleet, SensorSnapshot
 
 __all__ = [
     "LegacyOneShotSimulation",

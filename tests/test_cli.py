@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+from pathlib import Path
 
 import pytest
 
@@ -81,7 +82,7 @@ class TestCommands:
             if line.startswith("  ") and line.strip()
         }
         assert set(sub.choices) <= listed
-        assert {"serve", "loadgen", "scenario"} <= listed
+        assert {"serve", "loadgen", "scenario", "lint"} <= listed
 
     def test_unknown_figure_exits_2(self, capsys):
         assert main(["figures", "--figure", "fig99"]) == 2
@@ -211,3 +212,64 @@ class TestAsciiChart:
         result.add("A", "m", 5.0)
         chart = ascii_chart(result, "m")
         assert "o=A" in chart
+
+
+class TestLint:
+    """The ``repro lint`` subcommand end to end (the CI gate)."""
+
+    REPO_ROOT = str(Path(__file__).resolve().parents[1])
+
+    @staticmethod
+    def _violating_tree(tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n"
+            "import numpy as np\n"
+            "fn = getattr(kernel, 'definitely_not_a_capability', None)\n"
+            "noise = np.random.rand(3)\n"
+            "stamp = time.time()\n"
+        )
+        return tmp_path
+
+    def test_repo_lints_clean(self, capsys):
+        assert main(["lint", "--root", self.REPO_ROOT]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert code in out
+
+    def test_injected_violations_fail_with_json_report(self, tmp_path, capsys):
+        root = self._violating_tree(tmp_path)
+        assert main(["lint", "--root", str(root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        fired = {f["rule"] for f in payload["findings"]}
+        assert {"capability-hook", "determinism"} <= fired
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        root = self._violating_tree(tmp_path)
+        baseline = root / "lint-baseline.json"
+        assert main([
+            "lint", "--root", str(root),
+            "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main([
+            "lint", "--root", str(root), "--baseline", str(baseline)
+        ]) == 0
+        assert "3 baselined" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--root", self.REPO_ROOT, "--rules", "nope"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_rule_subset_on_single_path(self, capsys):
+        assert main([
+            "lint", "--root", self.REPO_ROOT,
+            "--rules", "determinism", "src/repro/core",
+        ]) == 0

@@ -20,7 +20,7 @@ from repro.queries import (
     RegionMonitoringQuery,
     SpatialAggregateQuery,
 )
-from repro.spatial import Location, Region
+from repro.spatial import Region
 
 SERIES = OzoneTraceSynthesizer().generate(50, np.random.default_rng(5))
 MODEL = HarmonicRegressionModel(50, 1)

@@ -15,7 +15,7 @@ from repro.phenomena import (
 )
 from repro.phenomena.fields import stationary_deployment
 from repro.phenomena.sampling_times import window_series
-from repro.spatial import Location, Region
+from repro.spatial import Location
 
 
 class TestCorrelatedField:
