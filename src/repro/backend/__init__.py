@@ -1,0 +1,351 @@
+"""The array-backend seam: one ``xp`` namespace, pluggable implementations.
+
+Every hot path in the repo computes on numpy arrays through module-level
+``np.*`` calls, which hard-wires the CPU backend and makes allocation
+behavior invisible.  This package introduces the repo's array-API-style
+seam:
+
+* :class:`NumpyBackend` — the default; forwards attribute access straight
+  to :mod:`numpy`, so ``xp.zeros`` *is* ``np.zeros`` (bit-identical by
+  construction) plus the repo's canonical dtype constants
+  (``float_dtype``/``bool_dtype``/``index_dtype``/``int64_dtype``), the
+  one switch point a reduced-precision GPU backend would flip;
+* :class:`InstrumentedNumpyBackend` — numpy with an **allocation meter**:
+  every seam-routed allocating call is counted (arrays and bytes) under
+  the current phase label.  Counts are deterministic — the same inputs
+  produce the same counters on any machine — so CI can assert allocation
+  floors where wall-clock floors are flaky (this repo's 1-core CI box);
+* :class:`CupyBackend` / :class:`JaxBackend` — import-guarded GPU seams:
+  constructing one without the library installed raises a clear
+  ``ImportError``; with it installed, attribute access forwards to
+  ``cupy`` / ``jax.numpy``.  Neither is a dependency of this repo.
+
+Consumers select a backend through the ``backend=`` knob threaded through
+:class:`~repro.core.engine.SlotEngine`, the engine factories,
+:class:`~repro.datasets.ScenarioSpec` and the ``repro scenario`` /
+``serve`` / ``replay`` CLIs; every layer validates through
+:func:`normalize_backend`, mirroring ``normalize_sharding``.  Code reaches
+the *active* backend through the module-level :data:`xp` proxy (or
+:func:`active_backend`), scoped by the :func:`use_backend` context
+manager — the engine wraps each slot step so everything a slot allocates
+through the seam lands on the engine's backend.
+
+The numpy default is bit-identical everywhere: both the plain and the
+instrumented backend call the very numpy functions the code called before
+the seam existed, in the same order with the same arguments.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+
+import numpy as np
+
+from .workspace import SlotWorkspace, normalize_workspace
+
+__all__ = [
+    "NumpyBackend",
+    "InstrumentedNumpyBackend",
+    "CupyBackend",
+    "JaxBackend",
+    "SlotWorkspace",
+    "active_backend",
+    "available_backends",
+    "default_backend",
+    "normalize_backend",
+    "normalize_workspace",
+    "resolve_backend",
+    "use_backend",
+    "xp",
+]
+
+
+class NumpyBackend:
+    """The default backend: :mod:`numpy`, plus the repo's dtype constants.
+
+    Attribute access forwards to numpy itself, so seam-routed code runs
+    the exact functions it ran before the seam existed — ``xp.zeros`` is
+    ``np.zeros``, down to the returned object.  The dtype constants are
+    the canonical spellings of the repo's scattered ``dtype=float`` /
+    ``np.intp`` / ``dtype=bool`` literals; a reduced-precision GPU backend
+    overrides them in one place.
+    """
+
+    name = "numpy"
+    float_dtype = np.dtype(np.float64)
+    bool_dtype = np.dtype(np.bool_)
+    index_dtype = np.dtype(np.intp)
+    int64_dtype = np.dtype(np.int64)
+
+    def __getattr__(self, attr: str):
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        return getattr(np, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: numpy functions that return a freshly allocated array; the instrumented
+#: backend wraps exactly these (an explicit allowlist, so the meter's
+#: semantics — "one seam-routed array materialized" — never drift with
+#: numpy's namespace).
+_ALLOCATORS = (
+    "empty",
+    "zeros",
+    "ones",
+    "full",
+    "empty_like",
+    "zeros_like",
+    "ones_like",
+    "full_like",
+    "arange",
+    "fromiter",
+    "concatenate",
+    "where",
+    "repeat",
+    "bincount",
+    "copy",
+)
+
+#: allocating functions with an ``out=`` escape hatch: counted only when
+#: the caller did not supply a destination buffer.
+_OUT_ALLOCATORS = ("take", "cumsum")
+
+
+class InstrumentedNumpyBackend(NumpyBackend):
+    """Numpy with a per-phase allocation meter.
+
+    Counts every seam-routed allocating call (and the bytes it
+    materialized) under the label set by :meth:`set_phase` — the engine
+    labels its four protocol phases, so a slot's allocation churn is
+    attributable to announce/kernel/allocate/settle.  The wrappers call
+    the same numpy functions with the same arguments, so instrumented
+    runs stay bit-identical to plain numpy runs; only the counters
+    differ from :class:`NumpyBackend`.  Counters are deterministic:
+    asserting them replaces flaky wall-clock floors on 1-core CI boxes.
+    """
+
+    name = "instrumented"
+
+    def __init__(self) -> None:
+        self._counts: dict[str, list[int]] = {}
+        self._phase: str | None = None
+
+    def set_phase(self, label: str | None) -> None:
+        """Attribute subsequent allocations to ``label`` (``None`` = unphased)."""
+        self._phase = label
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    def snapshot(self) -> dict[str, tuple[int, int]]:
+        """``{phase: (allocations, bytes)}`` — a copy, safe to keep."""
+        return {phase: (c, b) for phase, (c, b) in self._counts.items()}
+
+    def _record(self, arr):
+        entry = self._counts.get(self._phase or "unphased")
+        if entry is None:
+            entry = self._counts[self._phase or "unphased"] = [0, 0]
+        entry[0] += 1
+        entry[1] += int(getattr(arr, "nbytes", 0))
+        return arr
+
+
+def _instrumented(name: str):
+    fn = getattr(np, name)
+
+    def wrapper(self, *args, **kwargs):
+        return self._record(fn(*args, **kwargs))
+
+    wrapper.__name__ = name
+    wrapper.__qualname__ = f"InstrumentedNumpyBackend.{name}"
+    wrapper.__doc__ = f"``np.{name}`` with the allocation recorded."
+    return wrapper
+
+
+def _instrumented_out(name: str):
+    fn = getattr(np, name)
+
+    def wrapper(self, *args, out=None, **kwargs):
+        result = fn(*args, out=out, **kwargs)
+        return result if out is not None else self._record(result)
+
+    wrapper.__name__ = name
+    wrapper.__qualname__ = f"InstrumentedNumpyBackend.{name}"
+    wrapper.__doc__ = f"``np.{name}``; counted only when ``out=`` is absent."
+    return wrapper
+
+
+for _name in _ALLOCATORS:
+    setattr(InstrumentedNumpyBackend, _name, _instrumented(_name))
+for _name in _OUT_ALLOCATORS:
+    setattr(InstrumentedNumpyBackend, _name, _instrumented_out(_name))
+del _name
+
+
+class _GuardedImportBackend:
+    """Shared shape of the optional GPU backends: the array library is
+    imported at *construction* (never at module import), so merely having
+    the seam costs nothing and the failure mode is one clear error."""
+
+    name = "abstract"
+    _module = "override-me"
+    float_dtype = np.dtype(np.float64)
+    bool_dtype = np.dtype(np.bool_)
+    index_dtype = np.dtype(np.intp)
+    int64_dtype = np.dtype(np.int64)
+
+    def __init__(self) -> None:
+        try:
+            self._mod = self._import()
+        except ImportError as exc:
+            raise ImportError(
+                f"the {self.name!r} backend needs the {self._module!r} "
+                f"package, which is not installed; install it or pick "
+                f"backend='numpy' (see repro.backend.available_backends())"
+            ) from exc
+
+    def _import(self):
+        raise NotImplementedError
+
+    def __getattr__(self, attr: str):
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        return getattr(self._mod, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class CupyBackend(_GuardedImportBackend):
+    """CuPy seam: numpy-compatible GPU arrays, float64 semantics kept."""
+
+    name = "cupy"
+    _module = "cupy"
+
+    def _import(self):
+        import cupy
+
+        return cupy
+
+
+class JaxBackend(_GuardedImportBackend):
+    """``jax.numpy`` seam.  JAX computes in float32 by default, so the
+    dtype constants narrow accordingly — parity against numpy is *at
+    tolerance*, not bit-exact (the skip-guarded backend parity tests pin
+    the tolerance)."""
+
+    name = "jax"
+    _module = "jax"
+    float_dtype = np.dtype(np.float32)
+    index_dtype = np.dtype(np.int32)
+    int64_dtype = np.dtype(np.int32)
+
+    def _import(self):
+        import jax.numpy
+
+        return jax.numpy
+
+
+_BACKENDS: dict[str, type] = {
+    "numpy": NumpyBackend,
+    "instrumented": InstrumentedNumpyBackend,
+    "cupy": CupyBackend,
+    "jax": JaxBackend,
+}
+
+_DEFAULT = NumpyBackend()
+
+
+def normalize_backend(setting) -> "str | object | None":
+    """Canonicalize a ``backend=`` knob value, shared by every declaring layer.
+
+    ``None`` → ``None`` (the numpy default); a known name → its lowered
+    canonical spelling; a backend *instance* (anything exposing ``empty``
+    and ``zeros``) passes through so tests and power users can inject
+    their own.  Anything else raises ``ValueError`` — the engine,
+    :class:`~repro.datasets.ScenarioSpec` and the CLI all validate through
+    here, mirroring :func:`~repro.core.sharding.normalize_sharding`.
+    """
+    if setting is None:
+        return None
+    if isinstance(setting, str):
+        lowered = setting.lower()
+        if lowered in _BACKENDS:
+            return lowered
+        raise ValueError(
+            f"unknown backend {setting!r} (known: {', '.join(sorted(_BACKENDS))})"
+        )
+    if hasattr(setting, "empty") and hasattr(setting, "zeros"):
+        return setting
+    raise ValueError(f"unknown backend setting {setting!r}")
+
+
+def resolve_backend(setting=None):
+    """The backend *instance* for a knob value (see :func:`normalize_backend`).
+
+    ``None`` and ``"numpy"`` resolve to one shared default instance;
+    named backends construct fresh (an instrumented backend's counters
+    belong to whoever asked for it).  Constructing ``"cupy"``/``"jax"``
+    without the library installed raises the guard's ``ImportError``.
+    """
+    setting = normalize_backend(setting)
+    if setting is None or setting == "numpy":
+        return _DEFAULT
+    if isinstance(setting, str):
+        return _BACKENDS[setting]()
+    return setting
+
+
+def default_backend() -> NumpyBackend:
+    """The shared default numpy backend instance."""
+    return _DEFAULT
+
+
+def available_backends() -> dict[str, bool]:
+    """``{name: importable}`` for every known backend (no imports run)."""
+    out = {"numpy": True, "instrumented": True}
+    for name, module in (("cupy", "cupy"), ("jax", "jax")):
+        out[name] = importlib.util.find_spec(module) is not None
+    return out
+
+
+# ----------------------------------------------------------------------
+# the active-backend stack and the ``xp`` namespace proxy
+# ----------------------------------------------------------------------
+_STACK: list = [_DEFAULT]
+
+
+def active_backend():
+    """The backend ``xp`` currently forwards to."""
+    return _STACK[-1]
+
+
+@contextlib.contextmanager
+def use_backend(backend=None):
+    """Scope the active backend (engine slot steps wrap themselves here)."""
+    _STACK.append(resolve_backend(backend))
+    try:
+        yield _STACK[-1]
+    finally:
+        _STACK.pop()
+
+
+class _NamespaceProxy:
+    """The module-level ``xp`` object: attribute access forwards to the
+    active backend, so seam-routed code follows :func:`use_backend` scopes
+    without threading a backend argument through every call chain."""
+
+    __slots__ = ()
+
+    def __getattr__(self, attr: str):
+        return getattr(active_backend(), attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<xp -> {active_backend()!r}>"
+
+
+xp = _NamespaceProxy()

@@ -1,0 +1,151 @@
+"""Slot-scoped preallocated scratch arenas: allocation-free warm rounds.
+
+Each greedy round used to re-materialize its large temporaries from
+scratch — the gain matrix, the net/cumsum buffer, the relevance block,
+the dirty-row index buffers, the coverage block's scatter and ``bincount``
+scratch.  :class:`SlotWorkspace` keeps one growable flat **arena** per
+``(name, dtype)`` and hands out reshaped views of it, so a warm slot's
+rounds acquire their scratch without touching the allocator at all:
+
+* :meth:`empty` / :meth:`zeros` / :meth:`ones` / :meth:`full` mirror the
+  numpy constructors but take an arena *name* first; the returned view is
+  ``arena[:size].reshape(shape)``, filled exactly as the constructor
+  would fill it (``fill(0)`` for zeros, etc. — bit-identical values);
+* arenas grow **geometrically** (at least doubling) through the backend
+  seam, so growth allocations are counted by an instrumented backend and
+  amortize to nothing across warm slots;
+* arenas persist on the workspace object, which persists on the
+  allocator, so the PR-7 incremental path's warm slots reuse the previous
+  slot's arenas — ``grown`` stays flat while slots tick.
+
+**One code path.**  ``reuse=False`` puts the workspace in *pass-through*
+mode: every acquire allocates fresh through the backend seam (and is
+therefore counted per call by an instrumented backend).  Workspace-off
+and workspace-on runs execute the very same acquire/fill/``out=``
+statements — the only difference is where the buffer memory comes from —
+which is how the repo's hard contract (allocations and payments
+bit-identical ``==`` across the knob) is kept structural rather than
+re-proved per call site.
+
+**Aliasing discipline.**  A view is valid until its ``(name, dtype)``
+arena is re-acquired; names must therefore be unique per *live* buffer.
+Call-scoped consumers with several concurrent instances (the fused
+coverage blocks) prefix their arena names with :meth:`tag`, whose
+counters reset at :meth:`begin_call` — deterministic names per allocator
+call, so warm calls re-hit the same arenas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SlotWorkspace", "normalize_workspace"]
+
+
+def normalize_workspace(setting) -> "bool | str":
+    """Canonicalize a ``workspace=`` knob value.
+
+    ``None``, ``True`` and ``"auto"`` mean reusing slot workspaces (the
+    default); ``False`` disables arena reuse — every acquire allocates
+    fresh through the backend seam (pass-through mode).  Allocations and
+    payments are bit-identical either way; the knob exists for
+    benchmarking and for the allocation-floor gate.  Mirrors
+    :func:`~repro.core.greedy.normalize_fused`.
+    """
+    if setting is None or setting is True or setting == "auto":
+        return "auto"
+    if setting is False:
+        return False
+    raise ValueError(f"unrecognized workspace setting: {setting!r}")
+
+
+class SlotWorkspace:
+    """Named, growable scratch arenas over the array-backend seam.
+
+    Args:
+        backend: the backend instance allocations route through; ``None``
+            resolves the *active* backend per acquire (so an engine's
+            ``use_backend`` scope governs standalone allocators too).
+        reuse: ``False`` = pass-through mode (see the module docstring).
+
+    Attributes:
+        grown: number of arena (re)allocations ever made — flat across
+            warm rounds/slots when reuse works (tests pin this).
+    """
+
+    def __init__(self, backend=None, reuse: bool = True) -> None:
+        self.backend = backend
+        self.reuse = bool(reuse)
+        self.grown = 0
+        self._arenas: dict[tuple[str, np.dtype], np.ndarray] = {}
+        self._tags: dict[str, int] = {}
+
+    @property
+    def n_arenas(self) -> int:
+        return len(self._arenas)
+
+    def _bk(self):
+        if self.backend is not None:
+            return self.backend
+        from . import active_backend
+
+        return active_backend()
+
+    # ------------------------------------------------------------------
+    # call scoping
+    # ------------------------------------------------------------------
+    def begin_call(self) -> None:
+        """Start one allocator call: reset the :meth:`tag` counters so the
+        call's tagged consumers land on the same arenas as last call's."""
+        self._tags.clear()
+
+    def tag(self, prefix: str) -> str:
+        """A deterministic per-call-scoped arena-name prefix (``prefix#i``)."""
+        i = self._tags.get(prefix, 0)
+        self._tags[prefix] = i + 1
+        return f"{prefix}#{i}"
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+    def empty(self, name: str, shape, dtype=float) -> np.ndarray:
+        """An uninitialized ``shape`` view of the ``(name, dtype)`` arena.
+
+        The view's contents are arbitrary (previous-round leftovers in
+        reuse mode) — callers must fully overwrite before reading, the
+        same contract ``np.empty`` already imposes.
+        """
+        dtype = np.dtype(dtype)
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        else:
+            shape = tuple(int(s) for s in shape)
+        size = 1
+        for s in shape:
+            size *= s
+        if not self.reuse:
+            return self._bk().empty(shape, dtype=dtype)
+        key = (name, dtype)
+        arena = self._arenas.get(key)
+        if arena is None or arena.size < size:
+            capacity = size if arena is None else max(size, 2 * arena.size)
+            arena = self._bk().empty(capacity, dtype=dtype)
+            self._arenas[key] = arena
+            self.grown += 1
+        view = arena[:size]
+        return view if len(shape) == 1 else view.reshape(shape)
+
+    def zeros(self, name: str, shape, dtype=float) -> np.ndarray:
+        out = self.empty(name, shape, dtype)
+        out.fill(0)
+        return out
+
+    def ones(self, name: str, shape, dtype=float) -> np.ndarray:
+        out = self.empty(name, shape, dtype)
+        out.fill(1)
+        return out
+
+    def full(self, name: str, shape, fill_value, dtype=float) -> np.ndarray:
+        out = self.empty(name, shape, dtype)
+        out.fill(fill_value)
+        return out

@@ -52,6 +52,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backend import normalize_backend, resolve_backend, xp
+from ..backend.workspace import SlotWorkspace, normalize_workspace
 from ..queries import PointQuery, Query, SpatialAggregateQuery, ValuationState
 from ..queries.base import (
     GainBlock,
@@ -140,6 +142,18 @@ class GreedyAllocator:
             refreshes each round's dirty pairs with one fused pass per
             query type; ``False`` keeps the per-row ``gain_many`` loop.
             Allocations are bit-identical either way.
+        workspace: ``"auto"`` (default; also ``None``/``True``) acquires
+            every batch-path scratch buffer from a persistent
+            :class:`~repro.backend.SlotWorkspace` — preallocated arenas
+            reused across rounds *and* across warm slots, so steady-state
+            rounds allocate nothing; ``False`` puts the workspace in
+            pass-through mode (every acquire allocates fresh through the
+            backend seam).  Same statements run either way, so
+            allocations and payments are bit-identical.
+        backend: array backend the workspace allocates through
+            (:func:`~repro.backend.normalize_backend`); ``None`` (default)
+            follows the active backend — a driving engine's
+            ``use_backend`` scope, else plain numpy.
     """
 
     name = "Greedy"
@@ -151,6 +165,8 @@ class GreedyAllocator:
         verify: bool = True,
         vectorized: bool = True,
         fused: bool | str | None = "auto",
+        workspace: bool | str | None = "auto",
+        backend=None,
     ) -> None:
         if min_gain < 0:
             raise ValueError("min_gain must be non-negative")
@@ -158,6 +174,26 @@ class GreedyAllocator:
         self.verify = verify
         self.vectorized = vectorized
         self.fused = normalize_fused(fused)
+        self.workspace = normalize_workspace(workspace)
+        self.backend = normalize_backend(backend)
+        self._ws: SlotWorkspace | None = None
+        self._ws_knobs: tuple | None = None
+
+    def _slot_workspace(self) -> SlotWorkspace:
+        """The allocator's persistent workspace, tracking the live knobs.
+
+        Arenas survive across calls (warm slots reuse them); flipping the
+        ``workspace``/``backend`` knobs between calls swaps in a fresh
+        workspace so stale arenas never leak across configurations.
+        """
+        knobs = (self.workspace is not False, self.backend)
+        ws = self._ws
+        if ws is None or self._ws_knobs != knobs:
+            bk = None if self.backend is None else resolve_backend(self.backend)
+            ws = self._ws = SlotWorkspace(backend=bk, reuse=knobs[0])
+            self._ws_knobs = knobs
+        ws.begin_call()
+        return ws
 
     def allocate(
         self,
@@ -192,6 +228,7 @@ class GreedyAllocator:
         result: AllocationResult,
     ) -> None:
         kernel = ValuationKernel.ensure(kernel, sensors)
+        ws = self._slot_workspace()
         n_queries, n_all = len(queries), len(sensors)
 
         # Relevance over the full announcement set: one kernel pass for the
@@ -216,7 +253,9 @@ class GreedyAllocator:
                 sparse_entries = sparse_fn(plain_queries)
             else:
                 single_values = kernel.single_values(plain_queries)
-        relevance_all = np.zeros((n_queries, n_all), dtype=bool)
+        relevance_all = ws.zeros(
+            "greedy:relevance_all", (n_queries, n_all), dtype=xp.bool_dtype
+        )
         if plain_idx:
             if sparse_entries is not None:
                 for i, (idx, vals) in zip(plain_idx, sparse_entries):
@@ -265,13 +304,18 @@ class GreedyAllocator:
         # Snapshots and costs come from the *passed* announcements — the
         # kernel may be a reused one whose own snapshots carry stale prices.
         roster = kernel.roster(cols, sensors)
-        relevance = relevance_all[:, cols]
+        roster.workspace = ws
+        relevance = ws.empty(
+            "greedy:relevance", (n_queries, cols.size), dtype=xp.bool_dtype
+        )
+        np.take(relevance_all, cols, axis=1, out=relevance)
         # A batch announcement carries costs as a stacked array (the exact
         # values its lazy snapshots are materialized from); snapshot lists
         # pay the per-candidate gather.
         announced_costs = getattr(sensors, "costs", None)
         if announced_costs is not None:
-            costs = announced_costs[cols]
+            costs = ws.empty("greedy:costs", cols.size, dtype=xp.float_dtype)
+            np.take(announced_costs, cols, out=costs)
         else:
             costs = np.fromiter((sensors[j].cost for j in cols), float, cols.size)
         if plain_idx:
@@ -280,15 +324,26 @@ class GreedyAllocator:
                 # Candidate columns relevant to no query are absent from
                 # ``cols`` but carry value 0.0 by construction, so dropping
                 # them is exact.
-                block = np.zeros((len(plain_idx), cols.size))
-                col_pos = np.full(n_all, -1, dtype=np.intp)
-                col_pos[cols] = np.arange(cols.size, dtype=np.intp)
+                block = ws.zeros(
+                    "greedy:point_block",
+                    (len(plain_idx), cols.size),
+                    dtype=xp.float_dtype,
+                )
+                col_pos = ws.full(
+                    "greedy:col_pos", n_all, -1, dtype=xp.index_dtype
+                )
+                col_pos[cols] = np.arange(cols.size, dtype=xp.index_dtype)
                 for p, (idx, vals) in enumerate(sparse_entries):
                     pos = col_pos[idx]
                     keep = pos >= 0
                     block[p, pos[keep]] = vals[keep]
             else:
-                block = single_values[:, cols]
+                block = ws.empty(
+                    "greedy:point_block",
+                    (len(plain_idx), cols.size),
+                    dtype=xp.float_dtype,
+                )
+                np.take(single_values, cols, axis=1, out=block)
             for p, i in enumerate(plain_idx):
                 roster.value_rows[queries[i].query_id] = block[p]
         for i, query in enumerate(queries):
@@ -298,12 +353,12 @@ class GreedyAllocator:
         states: dict[str, ValuationState] = {q.query_id: q.new_state() for q in queries}
         batches = [resolve_batch_state(states[q.query_id], roster) for q in queries]
         fused_groups = (
-            self._build_blocks(batches) if self.fused is not False else None
+            self._build_blocks(batches, ws) if self.fused is not False else None
         )
 
         n = cols.size
-        gain_matrix = np.zeros((n_queries, n), dtype=float)
-        alive = np.ones(n, dtype=bool)
+        gain_matrix = ws.zeros("greedy:gain_matrix", (n_queries, n), dtype=xp.float_dtype)
+        alive = ws.ones("greedy:alive", n, dtype=xp.bool_dtype)
         all_indices = roster.all_indices
         # Initial fill.  Point-query rows come straight from the kernel
         # block (empty state: the marginal gain IS the single value), one
@@ -321,11 +376,15 @@ class GreedyAllocator:
         self._refresh_rows(
             gain_matrix, relevance, batches, nonpoint_rows, all_indices, fused_groups
         )
-        net = np.empty(n, dtype=float)
-        self._recompute_net(gain_matrix, costs, all_indices, net)
+        net = ws.empty("greedy:net", n, dtype=xp.float_dtype)
+        self._recompute_net(gain_matrix, costs, all_indices, net, ws)
 
         while alive.any():
-            candidate_net = np.where(alive, net, -np.inf)
+            # Same values as `np.where(alive, net, -inf)`, without the
+            # per-round temporary: fill the arena view, copy the live lanes.
+            candidate_net = ws.empty("greedy:candidate_net", n, dtype=xp.float_dtype)
+            candidate_net.fill(-np.inf)
+            np.copyto(candidate_net, net, where=alive)
             j = int(np.argmax(candidate_net))
             column = gain_matrix[:, j]
             benefiting = np.flatnonzero(column)
@@ -359,15 +418,21 @@ class GreedyAllocator:
             self._refresh_rows(
                 gain_matrix, relevance, batches, benefiting, live, fused_groups
             )
-            dirty = relevance[benefiting].any(axis=0)
+            rel_rows = ws.empty(
+                "greedy:dirty_rows", (benefiting.size, n), dtype=xp.bool_dtype
+            )
+            np.take(relevance, benefiting, axis=0, out=rel_rows)
+            dirty = ws.empty("greedy:dirty", n, dtype=xp.bool_dtype)
+            np.any(rel_rows, axis=0, out=dirty)
             dirty &= alive
             dirty_cols = np.flatnonzero(dirty)
             if dirty_cols.size:
-                self._recompute_net(gain_matrix, costs, dirty_cols, net)
+                self._recompute_net(gain_matrix, costs, dirty_cols, net, ws)
 
     @staticmethod
     def _build_blocks(
         batches: list,
+        ws: SlotWorkspace,
     ) -> tuple[np.ndarray, np.ndarray, list[GainBlock]]:
         """Group the slot's batch states into per-type gain blocks.
 
@@ -384,8 +449,8 @@ class GreedyAllocator:
         groups: dict[type, list[int]] = {}
         for i, state in enumerate(batches):
             groups.setdefault(type(state), []).append(i)
-        row_block = np.empty(len(batches), dtype=np.intp)
-        member_pos = np.empty(len(batches), dtype=np.intp)
+        row_block = ws.empty("greedy:row_block", len(batches), dtype=xp.index_dtype)
+        member_pos = ws.empty("greedy:member_pos", len(batches), dtype=xp.index_dtype)
         blocks: list[GainBlock] = []
         for cls, rows in groups.items():
             members = [batches[i] for i in rows]
@@ -463,6 +528,7 @@ class GreedyAllocator:
         costs: np.ndarray,
         columns: np.ndarray,
         net: np.ndarray,
+        ws: SlotWorkspace | None = None,
     ) -> None:
         """Net utility of ``columns``, re-accumulated in query order.
 
@@ -474,9 +540,17 @@ class GreedyAllocator:
         bit-for-bit.  Near-tie sensor selections therefore cannot diverge
         between the paths.
         """
-        sub = gain_matrix[:, columns]
+        if ws is None:
+            ws = SlotWorkspace(reuse=False)
+        sub = ws.empty(
+            "greedy:net_sub", (gain_matrix.shape[0], columns.size), dtype=xp.float_dtype
+        )
+        np.take(gain_matrix, columns, axis=1, out=sub)
         np.cumsum(sub, axis=0, out=sub)
-        net[columns] = sub[-1] - costs[columns]
+        cbuf = ws.empty("greedy:net_costs", columns.size, dtype=xp.float_dtype)
+        np.take(costs, columns, out=cbuf)
+        np.subtract(sub[-1], cbuf, out=cbuf)
+        net[columns] = cbuf
 
     # ------------------------------------------------------------------
     # the scalar path: the historical per-pair reference implementation

@@ -213,6 +213,19 @@ class ScenarioSpec:
             them from the per-slot :class:`~repro.sensors.SlotDelta`
             instead (see :func:`~repro.core.engine.normalize_incremental`;
             allocations and payments are bit-identical either way).
+        backend: array backend for the slot loop — ``None``/``"numpy"``
+            the shared default numpy backend, ``"instrumented"``
+            the allocation-metering numpy backend (fills
+            :attr:`~repro.core.engine.SlotEngine.last_allocs`),
+            ``"cupy"``/``"jax"`` the optional GPU backends when their
+            packages are importable (see :mod:`repro.backend`;
+            numpy-family backends are bit-identical).
+        workspace: preallocated slot workspaces — ``None`` leaves the
+            allocators at their own default (``"auto"``, workspaces on),
+            ``true``/``"auto"`` reuses per-slot scratch arenas across
+            warm greedy rounds, ``false`` allocates scratch fresh every
+            round (see :class:`~repro.backend.SlotWorkspace`; allocations
+            and payments are bit-identical either way).
         mobility: optional mobility override for the world.  ``None``
             keeps the dataset's native trace;
             ``{"kind": "churn", "fraction": 0.01}`` replaces it with a
@@ -245,6 +258,8 @@ class ScenarioSpec:
     sharding: float | bool | str | None = None
     fused: bool | str | None = None
     incremental: bool | str | None = None
+    backend: str | None = None
+    workspace: bool | str | None = None
     mobility: dict[str, Any] | None = None
     service: dict[str, Any] | None = None
 
@@ -261,6 +276,7 @@ class ScenarioSpec:
             raise ValueError("a scenario needs at least one stream")
         if self.n_slots < 1:
             raise ValueError("n_slots must be >= 1")
+        from ..backend import normalize_backend, normalize_workspace
         from ..core.engine import normalize_incremental
         from ..core.greedy import normalize_fused
         from ..core.sharding import normalize_sharding
@@ -270,6 +286,10 @@ class ScenarioSpec:
             normalize_fused(self.fused)  # validation only; raises on junk
         if self.incremental is not None:
             normalize_incremental(self.incremental)  # validation only
+        if self.backend is not None:
+            normalize_backend(self.backend)  # validation only; raises on junk
+        if self.workspace is not None:
+            normalize_workspace(self.workspace)  # validation only
         if self.mobility is not None:
             kind = self.mobility.get("kind")
             if kind != "churn":
@@ -310,7 +330,7 @@ class ScenarioSpec:
         known = {
             "name", "dataset", "seed", "workload_seed", "n_sensors", "n_slots",
             "rnc_presence", "allocator", "allocation", "fleet", "sharding",
-            "fused", "incremental", "mobility", "service",
+            "fused", "incremental", "backend", "workspace", "mobility", "service",
         }
         extra = set(payload) - known
         if extra:
@@ -344,6 +364,10 @@ class ScenarioSpec:
             out["fused"] = self.fused
         if self.incremental is not None:
             out["incremental"] = self.incremental
+        if self.backend is not None:
+            out["backend"] = self.backend
+        if self.workspace is not None:
+            out["workspace"] = self.workspace
         if self.mobility is not None:
             out["mobility"] = dict(self.mobility)
         if self.service is not None:
@@ -536,6 +560,8 @@ class ScenarioSpec:
             sharding=self.sharding,
             fused=self.fused,
             incremental=self.incremental,
+            backend=self.backend,
+            workspace=self.workspace,
         )
 
     def run(self, n_slots: int | None = None):

@@ -396,6 +396,7 @@ class MarketplaceService:
             queue_depth=len(self._queue),
             record=record,
             timings=self.engine.last_timings,
+            allocs=self.engine.last_allocs,
         )
         return record
 
